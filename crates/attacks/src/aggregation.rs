@@ -1,0 +1,175 @@
+//! Epidemic push–pull aggregation — the baseline the paper rejects.
+//!
+//! §V-A: "Faster and more accurate epidemic-style aggregation protocols
+//! have been proposed but they are highly vulnerable to lying behaviour
+//! \[Jelasity et al. 2005\]." This module implements that baseline —
+//! pairwise push–pull averaging of a population estimate — plus lying
+//! nodes, so the `ablation_aggregation` experiment can contrast it with
+//! BallotBox sampling: a liar that always reports 1.0 and never updates
+//! drags the epidemic average towards 1 without bound, whereas in
+//! BallotBox a liar is just one voter among `B_max`.
+
+use rvs_sim::{DetRng, NodeId};
+use std::collections::BTreeSet;
+
+/// Push–pull averaging aggregation with optional liars.
+#[derive(Debug, Clone)]
+pub struct EpidemicAggregation {
+    values: Vec<f64>,
+    liars: BTreeSet<NodeId>,
+    lie_value: f64,
+}
+
+impl EpidemicAggregation {
+    /// Initialise from each node's local observation (e.g. 1.0 = "I
+    /// support the moderator", 0.0 = not). `liars` always report
+    /// `lie_value` and discard updates.
+    pub fn new(initial: Vec<f64>, liars: impl IntoIterator<Item = NodeId>, lie_value: f64) -> Self {
+        let liars: BTreeSet<NodeId> = liars.into_iter().collect();
+        EpidemicAggregation {
+            values: initial,
+            liars,
+            lie_value,
+        }
+    }
+
+    /// Population size.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Node `i`'s current estimate of the population average.
+    pub fn estimate(&self, i: NodeId) -> f64 {
+        if self.liars.contains(&i) {
+            self.lie_value
+        } else {
+            self.values[i.index()]
+        }
+    }
+
+    /// Mean estimate over honest nodes — what the protocol "converges" to.
+    pub fn honest_mean(&self) -> f64 {
+        let honest: Vec<f64> = (0..self.values.len())
+            .map(NodeId::from_index)
+            .filter(|n| !self.liars.contains(n))
+            .map(|n| self.values[n.index()])
+            .collect();
+        if honest.is_empty() {
+            return self.lie_value;
+        }
+        honest.iter().sum::<f64>() / honest.len() as f64
+    }
+
+    /// One gossip round: every node pairs with a uniformly random partner
+    /// and both move to the average of their reported values. Liars report
+    /// `lie_value` and ignore the update.
+    pub fn round(&mut self, rng: &mut DetRng) {
+        let n = self.values.len();
+        if n < 2 {
+            return;
+        }
+        for i in 0..n {
+            let mut j = rng.index(n);
+            if j == i {
+                j = (j + 1) % n;
+            }
+            let ni = NodeId::from_index(i);
+            let nj = NodeId::from_index(j);
+            let vi = self.estimate(ni);
+            let vj = self.estimate(nj);
+            let avg = (vi + vj) / 2.0;
+            if !self.liars.contains(&ni) {
+                self.values[i] = avg;
+            }
+            if !self.liars.contains(&nj) {
+                self.values[j] = avg;
+            }
+        }
+    }
+
+    /// Run `rounds` gossip rounds.
+    pub fn run(&mut self, rounds: usize, rng: &mut DetRng) {
+        for _ in 0..rounds {
+            self.round(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_aggregation_converges_to_true_mean() {
+        // 20% support: true mean 0.2.
+        let initial: Vec<f64> = (0..50).map(|i| if i < 10 { 1.0 } else { 0.0 }).collect();
+        let mut agg = EpidemicAggregation::new(initial, [], 1.0);
+        let mut rng = DetRng::new(1);
+        agg.run(40, &mut rng);
+        let mean = agg.honest_mean();
+        assert!((mean - 0.2).abs() < 0.02, "converged mean {mean}");
+        // Individual estimates concentrate around the mean too.
+        for i in 0..50 {
+            let e = agg.estimate(NodeId(i));
+            assert!((e - 0.2).abs() < 0.15, "node {i} estimate {e}");
+        }
+    }
+
+    #[test]
+    fn few_liars_poison_the_aggregate() {
+        // True support 0.2; 5 liars out of 50 (10%) always report 1.0.
+        let initial: Vec<f64> = (0..50).map(|i| if i < 10 { 1.0 } else { 0.0 }).collect();
+        let liars: Vec<NodeId> = (45..50).map(NodeId).collect();
+        let mut agg = EpidemicAggregation::new(initial, liars, 1.0);
+        let mut rng = DetRng::new(2);
+        agg.run(200, &mut rng);
+        let mean = agg.honest_mean();
+        assert!(
+            mean > 0.8,
+            "liars should drag the aggregate towards 1.0; got {mean}"
+        );
+    }
+
+    #[test]
+    fn lying_distortion_grows_with_rounds() {
+        let initial: Vec<f64> = (0..40).map(|_| 0.0).collect();
+        let liars = [NodeId(0)];
+        let mut agg = EpidemicAggregation::new(initial, liars, 1.0);
+        let mut rng = DetRng::new(3);
+        agg.run(10, &mut rng);
+        let early = agg.honest_mean();
+        agg.run(200, &mut rng);
+        let late = agg.honest_mean();
+        assert!(late > early, "distortion accumulates: {early} -> {late}");
+    }
+
+    #[test]
+    fn liar_estimate_is_always_the_lie() {
+        let mut agg = EpidemicAggregation::new(vec![0.0; 10], [NodeId(3)], 1.0);
+        let mut rng = DetRng::new(4);
+        agg.run(20, &mut rng);
+        assert_eq!(agg.estimate(NodeId(3)), 1.0);
+    }
+
+    #[test]
+    fn degenerate_populations_are_stable() {
+        let mut agg = EpidemicAggregation::new(vec![0.7], [], 1.0);
+        let mut rng = DetRng::new(5);
+        agg.round(&mut rng);
+        assert_eq!(agg.estimate(NodeId(0)), 0.7);
+        let empty = EpidemicAggregation::new(vec![], [], 1.0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.honest_mean(), 1.0);
+    }
+
+    #[test]
+    fn all_liars_population_reports_lie() {
+        let agg = EpidemicAggregation::new(vec![0.0; 3], (0..3).map(NodeId), 1.0);
+        assert_eq!(agg.honest_mean(), 1.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The collusive flash-crowd attack (paper §VI-C, Figures 7 and 8).
+//!
+//! "a flash crowd of new nodes promoting a spam moderator. Such a flash
+//! crowd could be comprised of colluding nodes or the result of a Sybil
+//! attack." Crowd members:
+//!
+//! * vote `+` for the spam moderator `M0` (and optionally `−` against the
+//!   honest top moderator) — these votes only land in ballot boxes of
+//!   nodes whose experience function accepts the sender, so the
+//!   experienced core ignores them;
+//! * answer every VoxPopuli request with a fabricated top-K list putting
+//!   `M0` first, regardless of their own (empty) ballot boxes — this is
+//!   what poisons *bootstrapping* nodes, which cannot tell core nodes from
+//!   other newcomers.
+
+use rvs_core::{TopKList, Vote, VoteEntry};
+use rvs_sim::{ModeratorId, NodeId, SimTime};
+use std::collections::BTreeSet;
+
+/// A coordinated crowd promoting one spam moderator.
+#[derive(Debug, Clone)]
+pub struct FlashCrowd {
+    members: BTreeSet<NodeId>,
+    spam_moderator: ModeratorId,
+    /// Honest moderator the crowd additionally votes down, if any.
+    demote: Option<ModeratorId>,
+    /// When the crowd joined the system.
+    pub joined_at: SimTime,
+}
+
+impl FlashCrowd {
+    /// A crowd of `members` promoting `spam_moderator`.
+    pub fn new(
+        members: impl IntoIterator<Item = NodeId>,
+        spam_moderator: ModeratorId,
+        demote: Option<ModeratorId>,
+        joined_at: SimTime,
+    ) -> Self {
+        let members: BTreeSet<NodeId> = members.into_iter().collect();
+        assert!(!members.is_empty(), "a flash crowd needs members");
+        FlashCrowd {
+            members,
+            spam_moderator,
+            demote,
+            joined_at,
+        }
+    }
+
+    /// Number of colluding identities.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The promoted spam moderator.
+    pub fn spam_moderator(&self) -> ModeratorId {
+        self.spam_moderator
+    }
+
+    /// Is `node` part of the crowd?
+    pub fn is_member(&self, node: NodeId) -> bool {
+        self.members.contains(&node)
+    }
+
+    /// Members in ascending order.
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// The vote list a crowd member sends during BallotBox exchanges:
+    /// `+M0` (and `−honest` when configured). Timestamps are the join
+    /// time — fresh identities cannot plausibly claim older votes.
+    pub fn vote_list(&self) -> Vec<VoteEntry> {
+        let mut list = vec![VoteEntry {
+            moderator: self.spam_moderator,
+            vote: Vote::Positive,
+            made_at: self.joined_at,
+        }];
+        if let Some(target) = self.demote {
+            list.push(VoteEntry {
+                moderator: target,
+                vote: Vote::Negative,
+                made_at: self.joined_at,
+            });
+        }
+        list
+    }
+
+    /// The fabricated VoxPopuli response: `M0` on top, optionally padded
+    /// with `decoys` (plausible-looking honest moderators) to mimic a
+    /// legitimate list.
+    pub fn topk_response(&self, decoys: &[ModeratorId], k: usize) -> TopKList {
+        let mut ranked = vec![self.spam_moderator];
+        ranked.extend(
+            decoys
+                .iter()
+                .copied()
+                .filter(|&m| m != self.spam_moderator)
+                .take(k.saturating_sub(1)),
+        );
+        TopKList { ranked }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crowd() -> FlashCrowd {
+        FlashCrowd::new(
+            (10..15).map(NodeId),
+            NodeId(0),
+            Some(NodeId(1)),
+            SimTime::from_hours(24),
+        )
+    }
+
+    #[test]
+    fn membership_and_size() {
+        let c = crowd();
+        assert_eq!(c.size(), 5);
+        assert!(c.is_member(NodeId(12)));
+        assert!(!c.is_member(NodeId(1)));
+        assert_eq!(c.members().count(), 5);
+    }
+
+    #[test]
+    fn vote_list_promotes_and_demotes() {
+        let c = crowd();
+        let list = c.vote_list();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].moderator, NodeId(0));
+        assert_eq!(list[0].vote, Vote::Positive);
+        assert_eq!(list[1].moderator, NodeId(1));
+        assert_eq!(list[1].vote, Vote::Negative);
+        assert!(list.iter().all(|e| e.made_at == SimTime::from_hours(24)));
+    }
+
+    #[test]
+    fn vote_list_without_demotion_target() {
+        let c = FlashCrowd::new([NodeId(9)], NodeId(0), None, SimTime::ZERO);
+        assert_eq!(c.vote_list().len(), 1);
+    }
+
+    #[test]
+    fn fabricated_topk_puts_spam_first() {
+        let c = crowd();
+        let topk = c.topk_response(&[NodeId(1), NodeId(2), NodeId(3)], 3);
+        assert_eq!(topk.top(), Some(NodeId(0)));
+        assert_eq!(topk.len(), 3);
+    }
+
+    #[test]
+    fn decoys_never_duplicate_spam() {
+        let c = crowd();
+        let topk = c.topk_response(&[NodeId(0), NodeId(2)], 3);
+        assert_eq!(topk.ranked, vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs members")]
+    fn empty_crowd_rejected() {
+        FlashCrowd::new(std::iter::empty(), NodeId(0), None, SimTime::ZERO);
+    }
+}

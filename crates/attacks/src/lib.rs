@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! Adversary models (paper §VI-C and §VII).
+//!
+//! All attacks act through the same protocol surfaces honest nodes use —
+//! vote lists, top-K responses, BarterCast records — never through
+//! backdoors, so defences are exercised exactly where the paper claims
+//! they hold:
+//!
+//! * [`flash_crowd`] — a collusive crowd of fresh identities promoting a
+//!   spam moderator `M0` via votes and fabricated VoxPopuli top-K lists
+//!   (Figures 7 and 8);
+//! * [`sybil`] — the Sybil view of the same attack: one operator minting
+//!   identities, plus the upload/time cost accounting that the experience
+//!   function imposes on entering the core (§VII's cost argument);
+//! * [`mole`] — the "front peer" attack on BarterCast: colluders fabricate
+//!   transfer claims behind a mole that has genuine edges to honest nodes;
+//! * [`aggregation`] — the baseline the paper rejects in §II/§V-A:
+//!   epidemic push–pull averaging, "highly vulnerable to lying behaviour",
+//!   used by the `ablation_aggregation` experiment to show why BallotBox
+//!   samples instead of aggregating.
+
+//! * [`credence`] — a correlation-based rating baseline in the style of
+//!   Credence (paper §VIII), used to quantify the isolation of non-voting
+//!   peers that motivates binding votes to moderators and sampling them.
+
+pub mod aggregation;
+pub mod credence;
+pub mod flash_crowd;
+pub mod mole;
+pub mod sybil;
+
+pub use aggregation::EpidemicAggregation;
+pub use credence::{simulate_credence, CredenceOutcome, VoteHistories};
+pub use flash_crowd::FlashCrowd;
+pub use mole::MoleAttack;
+pub use sybil::SybilCost;

@@ -1,0 +1,179 @@
+//! Subjective transfer graphs.
+//!
+//! Every node maintains its own picture of "who uploaded how much to whom",
+//! assembled from (a) its own direct transfers and (b) records gossiped by
+//! peers it encountered. A BarterCast record describes only the reporter's
+//! *own* transfers, so edge `(a → b)` is accepted only from reporter `a` or
+//! `b`; both reports are stored and the edge weight is their maximum
+//! (counters are cumulative, so for honest reporters max == newest).
+
+use rvs_sim::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-edge pair of reports: what the sender claimed and what the receiver
+/// claimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct EdgeReports {
+    /// KiB claimed by the edge's source (`from` reported its own upload).
+    by_from: u64,
+    /// KiB claimed by the edge's destination (`to` reported its download).
+    by_to: u64,
+}
+
+impl EdgeReports {
+    fn weight(&self) -> u64 {
+        self.by_from.max(self.by_to)
+    }
+}
+
+/// One node's subjective view of the transfer network.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SubjectiveGraph {
+    edges: BTreeMap<(NodeId, NodeId), EdgeReports>,
+}
+
+impl SubjectiveGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a report from `reporter` that `from` uploaded `kib` KiB to
+    /// `to`. Returns `false` (rejecting the report) unless the reporter is
+    /// one of the edge's endpoints — the protocol's first line of defence
+    /// against fabricated third-party edges.
+    ///
+    /// Cumulative counters only grow, so a report smaller than the stored
+    /// one is ignored (stale gossip).
+    pub fn insert_report(
+        &mut self,
+        reporter: NodeId,
+        from: NodeId,
+        to: NodeId,
+        kib: u64,
+    ) -> bool {
+        if reporter != from && reporter != to {
+            return false;
+        }
+        if from == to {
+            return false;
+        }
+        let e = self.edges.entry((from, to)).or_default();
+        if reporter == from {
+            e.by_from = e.by_from.max(kib);
+        } else {
+            e.by_to = e.by_to.max(kib);
+        }
+        true
+    }
+
+    /// Effective weight of edge `(from → to)` in KiB.
+    pub fn edge_kib(&self, from: NodeId, to: NodeId) -> u64 {
+        self.edges
+            .get(&(from, to))
+            .map(|e| e.weight())
+            .unwrap_or(0)
+    }
+
+    /// All edges with nonzero weight, deterministic order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, u64)> + '_ {
+        self.edges
+            .iter()
+            .filter(|(_, e)| e.weight() > 0)
+            .map(|(&(f, t), e)| (f, t, e.weight()))
+    }
+
+    /// Outgoing neighbours of `node` with edge weights.
+    pub fn out_edges(&self, node: NodeId) -> Vec<(NodeId, u64)> {
+        self.edges
+            .range((node, NodeId(0))..=(node, NodeId(u32::MAX)))
+            .filter(|(_, e)| e.weight() > 0)
+            .map(|(&(_, t), e)| (t, e.weight()))
+            .collect()
+    }
+
+    /// Number of distinct nonzero edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().filter(|e| e.weight() > 0).count()
+    }
+
+    /// All node ids mentioned by any edge (sorted, deduplicated).
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .edges
+            .iter()
+            .filter(|(_, e)| e.weight() > 0)
+            .flat_map(|(&(f, t), _)| [f, t])
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_reports_accepted() {
+        let mut g = SubjectiveGraph::new();
+        assert!(g.insert_report(NodeId(1), NodeId(1), NodeId(2), 100));
+        assert!(g.insert_report(NodeId(2), NodeId(1), NodeId(2), 90));
+        assert_eq!(g.edge_kib(NodeId(1), NodeId(2)), 100);
+    }
+
+    #[test]
+    fn third_party_reports_rejected() {
+        let mut g = SubjectiveGraph::new();
+        assert!(!g.insert_report(NodeId(9), NodeId(1), NodeId(2), 1_000_000));
+        assert_eq!(g.edge_kib(NodeId(1), NodeId(2)), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut g = SubjectiveGraph::new();
+        assert!(!g.insert_report(NodeId(1), NodeId(1), NodeId(1), 5));
+    }
+
+    #[test]
+    fn cumulative_counters_never_shrink() {
+        let mut g = SubjectiveGraph::new();
+        g.insert_report(NodeId(1), NodeId(1), NodeId(2), 500);
+        g.insert_report(NodeId(1), NodeId(1), NodeId(2), 300); // stale
+        assert_eq!(g.edge_kib(NodeId(1), NodeId(2)), 500);
+        g.insert_report(NodeId(1), NodeId(1), NodeId(2), 800);
+        assert_eq!(g.edge_kib(NodeId(1), NodeId(2)), 800);
+    }
+
+    #[test]
+    fn direction_matters() {
+        let mut g = SubjectiveGraph::new();
+        g.insert_report(NodeId(1), NodeId(1), NodeId(2), 100);
+        assert_eq!(g.edge_kib(NodeId(2), NodeId(1)), 0);
+    }
+
+    #[test]
+    fn out_edges_sorted_by_target() {
+        let mut g = SubjectiveGraph::new();
+        g.insert_report(NodeId(5), NodeId(5), NodeId(9), 10);
+        g.insert_report(NodeId(5), NodeId(5), NodeId(2), 20);
+        g.insert_report(NodeId(5), NodeId(5), NodeId(7), 30);
+        let out = g.out_edges(NodeId(5));
+        assert_eq!(
+            out,
+            vec![(NodeId(2), 20), (NodeId(7), 30), (NodeId(9), 10)]
+        );
+    }
+
+    #[test]
+    fn nodes_enumerates_endpoints() {
+        let mut g = SubjectiveGraph::new();
+        g.insert_report(NodeId(3), NodeId(3), NodeId(1), 10);
+        g.insert_report(NodeId(3), NodeId(4), NodeId(3), 10);
+        assert_eq!(g.nodes(), vec![NodeId(1), NodeId(3), NodeId(4)]);
+        assert_eq!(g.edge_count(), 2);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! BarterCast: decentralized contribution accounting and the experience
+//! function (paper §V-B).
+//!
+//! "By using BarterCast, any node in the system can estimate the
+//! contribution of any other node … based on up- and download statistics
+//! that are exchanged among nodes in a reliable way. First, nodes record
+//! statistics of their own BitTorrent file-transfers. Second, nodes
+//! exchange their own direct statistics with other peers they encounter.
+//! Based on these combined statistics each peer can build a graph of the
+//! network with directed edges that denote the amount of MBs transferred
+//! from one node to another node. The protocol then applies a maxflow
+//! algorithm to derive peer contributions."
+//!
+//! Modules:
+//!
+//! * [`graph`] — per-node subjective transfer graphs with reporter-checked
+//!   edge insertion (a peer may only report its *own* transfers);
+//! * [`maxflow`] — hop-bounded Edmonds–Karp, matching the deployed
+//!   BarterCast's 2-hop maxflow that limits the leverage of false reports;
+//! * [`protocol`] — the record-exchange gossip ([`BarterCast`]);
+//! * [`experience`] — the threshold experience function
+//!   `E_i(j) ⇔ f_{j→i} ≥ T` plus the adaptive-threshold variant sketched in
+//!   the paper's discussion (§VII).
+
+pub mod experience;
+pub mod graph;
+pub mod maxflow;
+pub mod protocol;
+
+pub use experience::{AdaptiveThreshold, ThresholdExperience};
+pub use graph::SubjectiveGraph;
+pub use protocol::{BarterCast, BarterCastConfig};

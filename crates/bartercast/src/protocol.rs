@@ -1,0 +1,253 @@
+//! The BarterCast record-exchange protocol.
+//!
+//! Each node keeps a [`SubjectiveGraph`]. Honest nodes learn their *own*
+//! direct transfer totals from their BitTorrent client (modelled by syncing
+//! from the global [`TransferLedger`] ground truth) and, when two peers
+//! meet through the PSS, they exchange their own direct records — never
+//! hearsay — which the receiver installs into its graph. Contribution
+//! estimates are hop-bounded maxflows over the receiver's graph.
+
+use crate::graph::SubjectiveGraph;
+use crate::maxflow::max_flow_bounded;
+use rvs_bittorrent::TransferLedger;
+use rvs_sim::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Tuning for BarterCast.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BarterCastConfig {
+    /// Maximum records sent per exchange (largest-first, as deployed).
+    pub max_records_per_exchange: usize,
+    /// Hop bound for contribution maxflow (deployed Tribler uses 2).
+    pub max_hops: usize,
+}
+
+impl Default for BarterCastConfig {
+    fn default() -> Self {
+        BarterCastConfig {
+            max_records_per_exchange: 50,
+            max_hops: 2,
+        }
+    }
+}
+
+/// One direct-transfer record: "`from` uploaded `kib` KiB to `to`", as
+/// reported by one of the endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// Uploader.
+    pub from: NodeId,
+    /// Downloader.
+    pub to: NodeId,
+    /// Cumulative KiB.
+    pub kib: u64,
+}
+
+/// Network-wide BarterCast state: one subjective graph per node.
+#[derive(Debug, Clone)]
+pub struct BarterCast {
+    cfg: BarterCastConfig,
+    graphs: Vec<SubjectiveGraph>,
+}
+
+impl BarterCast {
+    /// BarterCast over a population of `n` nodes.
+    pub fn new(n: usize, cfg: BarterCastConfig) -> Self {
+        BarterCast {
+            cfg,
+            graphs: vec![SubjectiveGraph::new(); n],
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> BarterCastConfig {
+        self.cfg
+    }
+
+    /// Node `i`'s subjective graph.
+    pub fn graph(&self, i: NodeId) -> &SubjectiveGraph {
+        &self.graphs[i.index()]
+    }
+
+    /// Refresh node `i`'s knowledge of its own direct transfers from the
+    /// simulation's ground-truth ledger (its BitTorrent client's local
+    /// statistics — always truthful for honest nodes).
+    pub fn sync_own_records(&mut self, i: NodeId, ledger: &TransferLedger) {
+        let g = &mut self.graphs[i.index()];
+        for (to, kib) in ledger.uploads_from(i) {
+            g.insert_report(i, i, to, kib);
+        }
+        for (from, kib) in ledger.uploads_to(i) {
+            g.insert_report(i, from, i, kib);
+        }
+    }
+
+    /// Node `i`'s own direct records (edges incident to `i`), largest
+    /// first, truncated to the per-exchange budget.
+    pub fn own_records(&self, i: NodeId) -> Vec<Record> {
+        let g = &self.graphs[i.index()];
+        let mut recs: Vec<Record> = g
+            .edges()
+            .filter(|&(f, t, _)| f == i || t == i)
+            .map(|(from, to, kib)| Record { from, to, kib })
+            .collect();
+        recs.sort_by_key(|r| (std::cmp::Reverse(r.kib), r.from, r.to));
+        recs.truncate(self.cfg.max_records_per_exchange);
+        recs
+    }
+
+    /// A PSS encounter between `i` and `j`: both send their own records and
+    /// install the other's. Reporter validity is enforced by the graphs.
+    pub fn exchange(&mut self, i: NodeId, j: NodeId) {
+        if i == j {
+            return;
+        }
+        let from_i = self.own_records(i);
+        let from_j = self.own_records(j);
+        for r in from_j {
+            self.graphs[i.index()].insert_report(j, r.from, r.to, r.kib);
+        }
+        for r in from_i {
+            self.graphs[j.index()].insert_report(i, r.from, r.to, r.kib);
+        }
+    }
+
+    /// Attack hook: deliver an arbitrary (possibly fabricated) record from
+    /// `reporter` to `receiver`. The receiver still applies the
+    /// endpoint-validity rule, so fabrication is limited to edges incident
+    /// to the reporter.
+    pub fn inject_report(
+        &mut self,
+        receiver: NodeId,
+        reporter: NodeId,
+        record: Record,
+    ) -> bool {
+        self.graphs[receiver.index()].insert_report(reporter, record.from, record.to, record.kib)
+    }
+
+    /// Contribution of `j` towards `i` in KiB: hop-bounded maxflow `j → i`
+    /// over `i`'s subjective graph (the paper's `f_{j→i}`).
+    pub fn contribution_kib(&self, i: NodeId, j: NodeId) -> u64 {
+        max_flow_bounded(&self.graphs[i.index()], j, i, self.cfg.max_hops)
+    }
+
+    /// Contribution in MiB (the unit the paper's threshold `T` uses).
+    pub fn contribution_mib(&self, i: NodeId, j: NodeId) -> f64 {
+        self.contribution_kib(i, j) as f64 / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger(edges: &[(u32, u32, u64)]) -> TransferLedger {
+        let mut l = TransferLedger::new();
+        for &(f, t, k) in edges {
+            l.credit(NodeId(f), NodeId(t), k);
+        }
+        l
+    }
+
+    #[test]
+    fn own_sync_only_installs_incident_edges() {
+        let l = ledger(&[(1, 2, 100), (3, 4, 999)]);
+        let mut bc = BarterCast::new(5, BarterCastConfig::default());
+        bc.sync_own_records(NodeId(1), &l);
+        assert_eq!(bc.graph(NodeId(1)).edge_kib(NodeId(1), NodeId(2)), 100);
+        assert_eq!(bc.graph(NodeId(1)).edge_kib(NodeId(3), NodeId(4)), 0);
+    }
+
+    #[test]
+    fn direct_contribution_via_own_records() {
+        // j=2 uploaded 10 MiB to i=1; i sees it directly after sync.
+        let l = ledger(&[(2, 1, 10 * 1024)]);
+        let mut bc = BarterCast::new(3, BarterCastConfig::default());
+        bc.sync_own_records(NodeId(1), &l);
+        assert!((bc.contribution_mib(NodeId(1), NodeId(2)) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exchange_spreads_records_both_ways() {
+        let l = ledger(&[(2, 3, 2048), (4, 1, 512)]);
+        let mut bc = BarterCast::new(5, BarterCastConfig::default());
+        bc.sync_own_records(NodeId(2), &l);
+        bc.sync_own_records(NodeId(1), &l);
+        bc.exchange(NodeId(1), NodeId(2));
+        // 1 learned about 2→3; 2 learned about 4→1.
+        assert_eq!(bc.graph(NodeId(1)).edge_kib(NodeId(2), NodeId(3)), 2048);
+        assert_eq!(bc.graph(NodeId(2)).edge_kib(NodeId(4), NodeId(1)), 512);
+    }
+
+    #[test]
+    fn two_hop_contribution_through_intermediary() {
+        // j=3 uploaded to 2; 2 uploaded to i=1. After i syncs and meets 2,
+        // f_{3→1} = min(3→2, 2→1).
+        let l = ledger(&[(3, 2, 4096), (2, 1, 1024)]);
+        let mut bc = BarterCast::new(4, BarterCastConfig::default());
+        bc.sync_own_records(NodeId(1), &l);
+        bc.sync_own_records(NodeId(2), &l);
+        bc.exchange(NodeId(1), NodeId(2));
+        assert_eq!(bc.contribution_kib(NodeId(1), NodeId(3)), 1024);
+    }
+
+    #[test]
+    fn exchange_budget_truncates_largest_first() {
+        let cfg = BarterCastConfig {
+            max_records_per_exchange: 2,
+            max_hops: 2,
+        };
+        let mut edges = Vec::new();
+        for t in 2..10 {
+            edges.push((1u32, t as u32, t as u64 * 100));
+        }
+        let l = ledger(&edges);
+        let mut bc = BarterCast::new(10, cfg);
+        bc.sync_own_records(NodeId(1), &l);
+        let recs = bc.own_records(NodeId(1));
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].kib, 900);
+        assert_eq!(recs[1].kib, 800);
+    }
+
+    #[test]
+    fn injected_third_party_lie_is_rejected() {
+        let mut bc = BarterCast::new(5, BarterCastConfig::default());
+        let lie = Record {
+            from: NodeId(2),
+            to: NodeId(3),
+            kib: u64::MAX,
+        };
+        assert!(!bc.inject_report(NodeId(1), NodeId(4), lie));
+        assert_eq!(bc.graph(NodeId(1)).edge_count(), 0);
+    }
+
+    #[test]
+    fn injected_endpoint_lie_has_bounded_leverage() {
+        // Honest: 2 uploaded 5 MiB to 1. Colluder 3 lies that it uploaded
+        // 1 TiB to 2. 3's contribution towards 1 is capped at 5 MiB.
+        let l = ledger(&[(2, 1, 5 * 1024)]);
+        let mut bc = BarterCast::new(4, BarterCastConfig::default());
+        bc.sync_own_records(NodeId(1), &l);
+        let lie = Record {
+            from: NodeId(3),
+            to: NodeId(2),
+            kib: 1 << 40,
+        };
+        assert!(bc.inject_report(NodeId(1), NodeId(3), lie));
+        assert_eq!(bc.contribution_kib(NodeId(1), NodeId(3)), 5 * 1024);
+    }
+
+    #[test]
+    fn unknown_peer_contributes_zero() {
+        let bc = BarterCast::new(3, BarterCastConfig::default());
+        assert_eq!(bc.contribution_kib(NodeId(0), NodeId(2)), 0);
+    }
+
+    #[test]
+    fn self_exchange_is_noop() {
+        let mut bc = BarterCast::new(2, BarterCastConfig::default());
+        bc.exchange(NodeId(1), NodeId(1));
+        assert_eq!(bc.graph(NodeId(1)).edge_count(), 0);
+    }
+}

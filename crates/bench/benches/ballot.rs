@@ -1,0 +1,63 @@
+//! BallotBox merge/evict and ranking throughput at the paper's operating
+//! point (B_max = 100) and above.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rvs_core::{rank_ballot, BallotBox, Vote, VoteEntry};
+use rvs_sim::{DetRng, NodeId, SimTime};
+
+fn vote_list(rng: &mut DetRng, moderators: u32, len: usize) -> Vec<VoteEntry> {
+    let mut list = Vec::with_capacity(len);
+    let mut seen = std::collections::BTreeSet::new();
+    while list.len() < len {
+        let m = rng.below(moderators as u64) as u32;
+        if seen.insert(m) {
+            list.push(VoteEntry {
+                moderator: NodeId(m),
+                vote: if rng.chance(0.8) {
+                    Vote::Positive
+                } else {
+                    Vote::Negative
+                },
+                made_at: SimTime::from_secs(rng.below(1_000)),
+            });
+        }
+    }
+    list
+}
+
+fn bench_ballot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ballot");
+    for &b_max in &[100usize, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::new("merge_churn", b_max),
+            &b_max,
+            |b, &b_max| {
+                let mut rng = DetRng::new(1);
+                // Pre-generate voter lists so only merge cost is measured.
+                let lists: Vec<(NodeId, Vec<VoteEntry>)> = (0..2_000u32)
+                    .map(|v| (NodeId(v), vote_list(&mut rng, 50, 10)))
+                    .collect();
+                b.iter(|| {
+                    let mut bb = BallotBox::new(b_max);
+                    for (i, (voter, list)) in lists.iter().enumerate() {
+                        bb.merge(*voter, list, SimTime::from_secs(i as u64));
+                    }
+                    black_box(bb.unique_voters())
+                });
+            },
+        );
+    }
+    group.bench_function("rank_100_voters_50_moderators", |b| {
+        let mut rng = DetRng::new(2);
+        let mut bb = BallotBox::new(100);
+        for v in 0..100u32 {
+            let list = vote_list(&mut rng, 50, 20);
+            bb.merge(NodeId(v), &list, SimTime::from_secs(v as u64));
+        }
+        b.iter(|| black_box(rank_ballot(&bb, 10)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ballot);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! End-to-end cost: a scaled-down full-stack vote-sampling run (trace →
+//! swarms → BarterCast → ModerationCast → BallotBox/VoxPopuli).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rvs_scenario::experiments::vote_sampling::fig6_setup;
+use rvs_scenario::{ProtocolConfig, System};
+use rvs_sim::{SimDuration, SimTime};
+use rvs_trace::TraceGenConfig;
+
+fn bench_endtoend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("endtoend");
+    group.sample_size(10);
+    group.bench_function("fullstack_16peers_6h", |b| {
+        let trace_cfg = TraceGenConfig::quick(16, SimDuration::from_hours(6));
+        let trace = trace_cfg.generate(5);
+        let (setup, m) = fig6_setup(&trace, 0.25, 0.25, 5);
+        b.iter(|| {
+            let mut system =
+                System::new(trace.clone(), ProtocolConfig::default(), setup.clone(), 5);
+            system.run_until(
+                SimTime::from_hours(6),
+                SimDuration::from_hours(6),
+                |_, _| {},
+            );
+            black_box(system.ordering_accuracy(&m))
+        });
+    });
+    group.bench_function("bittorrent_only_16peers_6h", |b| {
+        let trace_cfg = TraceGenConfig::quick(16, SimDuration::from_hours(6));
+        let trace = trace_cfg.generate(5);
+        b.iter(|| {
+            let net = rvs_bittorrent::BitTorrentNet::run_trace(
+                &trace,
+                rvs_bittorrent::NetConfig::default(),
+                5,
+                SimDuration::from_hours(6),
+                |_, _| {},
+            );
+            black_box(net.ledger().total_kib())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_endtoend);
+criterion_main!(benches);

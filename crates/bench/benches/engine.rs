@@ -1,0 +1,37 @@
+//! DES engine throughput: schedule/fire cycles through the event queue.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rvs_sim::{Engine, SimDuration, SimTime};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("schedule_drain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut eng: Engine<u32> = Engine::new();
+                for i in 0..n {
+                    eng.schedule_at(SimTime::from_millis((i % 977) as u64), i as u32);
+                }
+                let mut sum = 0u64;
+                eng.run_to_completion(|_, _, v| sum += v as u64);
+                black_box(sum)
+            });
+        });
+    }
+    group.bench_function("periodic_reschedule_100k", |b| {
+        b.iter(|| {
+            let mut eng: Engine<()> = Engine::new();
+            eng.schedule_at(SimTime::ZERO, ());
+            let mut fired = 0u64;
+            eng.run_until(SimTime::from_secs(100_000), |eng, _, ()| {
+                fired += 1;
+                eng.schedule_in(SimDuration::from_secs(1), ());
+            });
+            black_box(fired)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

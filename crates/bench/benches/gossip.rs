@@ -1,0 +1,57 @@
+//! ModerationCast extract/merge throughput: the per-encounter cost of the
+//! metadata dissemination protocol.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rvs_modcast::{
+    ContentQuality, KeyRegistry, LocalVote, ModerationCast, ModerationCastConfig,
+};
+use rvs_sim::{DetRng, NodeId, SimTime, SwarmId};
+
+fn populated(n: usize, items_per_mod: u32, seed: u64) -> (ModerationCast, KeyRegistry) {
+    let mut mc = ModerationCast::new(n, ModerationCastConfig::default());
+    let reg = KeyRegistry::new(n, seed);
+    // A handful of moderators publish catalogues; everyone approves them
+    // so extraction has plenty of eligible items.
+    for m in 0..5u32 {
+        for _ in 0..items_per_mod {
+            mc.publish(&reg, NodeId(m), SwarmId(0), ContentQuality::Genuine, SimTime::ZERO);
+        }
+        for i in 5..n {
+            mc.set_opinion(NodeId::from_index(i), NodeId(m), LocalVote::Approve, SimTime::ZERO);
+        }
+    }
+    (mc, reg)
+}
+
+fn bench_gossip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modcast");
+    for &items in &[20u32, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("exchange_round", items),
+            &items,
+            |b, &items| {
+                let (mc0, reg) = populated(50, items, 3);
+                b.iter(|| {
+                    let mut mc = mc0.clone();
+                    let mut rng = DetRng::new(9);
+                    // Seed the graph: moderators push to a few nodes first.
+                    for i in 0..50usize {
+                        let j = (i + 1) % 50;
+                        mc.exchange(
+                            &reg,
+                            NodeId::from_index(i),
+                            NodeId::from_index(j),
+                            SimTime::from_secs(i as u64),
+                            &mut rng,
+                        );
+                    }
+                    black_box(mc.coverage(NodeId(0)))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gossip);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! A7 — rank-merge and score-method variants.
+//!
+//! The paper fixes neither the VoxPopuli merge ("any rank merging method
+//! could be used") nor the ballot scoring ("simple summation or more
+//! complex proportional approaches"). This harness compares:
+//!
+//! * merge methods (mean rank / Borda / median rank) under a minority of
+//!   fabricated lists — the Figure 8 threat applied directly to the merge;
+//! * score methods (summation / proportional) on skewed vote profiles.
+//!
+//! ```text
+//! cargo run --release -p rvs-bench --bin ablation_rank_merge [--quick]
+//! ```
+
+use rvs_bench::{header, quick_mode};
+use rvs_core::{
+    rank_ballot_scored, BallotBox, MergeMethod, ScoreMethod, TopKList, VoteEntry, VoxCache,
+};
+use rvs_sim::{DetRng, NodeId, SimTime};
+
+fn fabricated_list_resilience(fake_fraction: f64, lists: usize, seed: u64) -> [bool; 3] {
+    // Honest lists rank M1 first but are heterogeneous (real responders'
+    // ballots differ: sometimes short, sometimes with M2/M3 swapped, and
+    // occasionally a confused node lists M2 first). Fabricated lists put
+    // spam M0 top, padded with M1 as a decoy to look plausible.
+    let mut rng = DetRng::new(seed);
+    let mut cache = VoxCache::new(lists, 3);
+    for _ in 0..lists {
+        if rng.chance(fake_fraction) {
+            cache.push(TopKList {
+                ranked: vec![NodeId(0), NodeId(1)],
+            });
+        } else {
+            let ranked = match rng.below(10) {
+                0 => vec![NodeId(2), NodeId(1), NodeId(3)], // confused node
+                1 | 2 => vec![NodeId(1)],                   // sparse ballot
+                3 | 4 => vec![NodeId(1), NodeId(3), NodeId(2)],
+                5 | 6 => vec![NodeId(1), NodeId(2)],
+                _ => vec![NodeId(1), NodeId(2), NodeId(3)],
+            };
+            cache.push(TopKList { ranked });
+        }
+    }
+    let clean = |m: MergeMethod| cache.merged_with(m).top() != Some(NodeId(0));
+    [
+        clean(MergeMethod::MeanRank),
+        clean(MergeMethod::Borda),
+        clean(MergeMethod::MedianRank),
+    ]
+}
+
+fn main() {
+    let quick = quick_mode();
+    header("A7", "rank-merge and score-method variants", quick);
+    let trials = if quick { 200 } else { 2_000 };
+
+    println!("\n-- VoxPopuli merge under fabricated lists (cache V_max = 10) --");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "fake frac", "mean-rank", "borda", "median"
+    );
+    for &f in &[0.1, 0.3, 0.45, 0.55, 0.7] {
+        let mut survived = [0usize; 3];
+        for t in 0..trials {
+            let ok = fabricated_list_resilience(f, 10, t as u64);
+            for (k, &b) in ok.iter().enumerate() {
+                if b {
+                    survived[k] += 1;
+                }
+            }
+        }
+        println!(
+            "{:>12.2} {:>12.3} {:>12.3} {:>12.3}",
+            f,
+            survived[0] as f64 / trials as f64,
+            survived[1] as f64 / trials as f64,
+            survived[2] as f64 / trials as f64
+        );
+    }
+
+    println!("\n-- ballot scoring on a skewed profile --");
+    // M0: heavily voted but contested (60+/35-); M1: lightly voted and
+    // unanimous (8+/0-).
+    let mut bb = BallotBox::new(200);
+    let e = |m: u32, vote| VoteEntry {
+        moderator: NodeId(m),
+        vote,
+        made_at: SimTime::ZERO,
+    };
+    let mut voter = 10u32;
+    for _ in 0..60 {
+        bb.merge(NodeId(voter), &[e(0, rvs_core::Vote::Positive)], SimTime::from_secs(voter as u64));
+        voter += 1;
+    }
+    for _ in 0..35 {
+        bb.merge(NodeId(voter), &[e(0, rvs_core::Vote::Negative)], SimTime::from_secs(voter as u64));
+        voter += 1;
+    }
+    for _ in 0..8 {
+        bb.merge(NodeId(voter), &[e(1, rvs_core::Vote::Positive)], SimTime::from_secs(voter as u64));
+        voter += 1;
+    }
+    let summation = rank_ballot_scored(&bb, ScoreMethod::Summation, 2);
+    let proportional = rank_ballot_scored(&bb, ScoreMethod::Proportional, 2);
+    println!("profile: M0 = 60+/35-, M1 = 8+/0-");
+    println!("summation ranks:    {:?}", summation.ranked);
+    println!("proportional ranks: {:?}", proportional.ranked);
+    println!(
+        "\ntakeaways: (1) Borda with absent = 0 points is order-isomorphic to\n\
+         mean rank with absent = K+1 (score = n(K+1) − Σrank), so the two\n\
+         columns are always identical — the paper's 'any rank merging\n\
+         method' freedom is narrower than it looks; (2) against decoy-padded\n\
+         fabricated lists, mean rank degrades gracefully past a fake\n\
+         majority while median rank collapses sharply near 0.5 — median's\n\
+         outlier robustness does not help against a *coordinated* near-\n\
+         majority; (3) proportional scoring favours consistent small\n\
+         moderators where summation favours voluminous contested ones."
+    );
+}

@@ -1,0 +1,48 @@
+//! F5 — Figure 5: Collective Experience Value vs time for several
+//! experience thresholds `T`, on one typical trace.
+//!
+//! Paper shape: lower `T` grows faster; at `T = 5 MB` roughly 20% of
+//! ordered node pairs are experienced within 12 hours; curves flatten well
+//! below 1.0 by day 7 (free-riders and rarely-online peers never join the
+//! core).
+//!
+//! ```text
+//! cargo run --release -p rvs-bench --bin fig5_experience [--quick]
+//! ```
+
+use rvs_bench::{header, maybe_write_json, quick_mode, timed};
+use rvs_metrics::TimeSeries;
+use rvs_scenario::{run_experience_formation, ExperienceConfig};
+use rvs_sim::SimTime;
+
+fn main() {
+    let quick = quick_mode();
+    header("F5", "experience formation: CEV vs time per threshold T", quick);
+    let cfg = if quick {
+        ExperienceConfig::quick(1)
+    } else {
+        ExperienceConfig::paper()
+    };
+    println!(
+        "trace: {} peers, {:.0} h; thresholds {:?} MiB\n",
+        cfg.trace.n_peers,
+        cfg.duration.as_secs() as f64 / 3600.0,
+        cfg.thresholds_mib
+    );
+    let series = timed("simulate", || run_experience_formation(&cfg));
+    maybe_write_json(&series);
+    let refs: Vec<&TimeSeries> = series.iter().collect();
+    print!("{}", TimeSeries::render_table(&refs));
+
+    // Headline checks against the paper's description.
+    println!();
+    for s in &series {
+        let at12 = s.value_at(SimTime::from_hours(12)).unwrap_or(0.0);
+        let last = s.last().map(|p| p.value).unwrap_or(0.0);
+        println!("{:<10} CEV@12h = {at12:.3}   final = {last:.3}", s.label);
+    }
+    println!(
+        "\npaper reference: T=5MB reaches ~0.20 within 12 h; all curves stay\n\
+         below 1.0 after 7 days; lower T strictly dominates higher T."
+    );
+}

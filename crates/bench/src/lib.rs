@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every binary accepts `--quick` to run a scaled-down configuration
+//! (minutes → seconds) and prints the same rows/series the paper reports,
+//! as aligned text tables. Paper-vs-measured comparisons are recorded in
+//! `EXPERIMENTS.md`.
+
+use std::time::Instant;
+
+/// Did the user pass `--quick`?
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// The value following `--json`, if present: a path to dump the
+/// experiment's raw series/rows as JSON for external plotting.
+pub fn json_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next().map(Into::into);
+        }
+    }
+    None
+}
+
+/// Write `value` as pretty JSON to the `--json` path when given.
+pub fn maybe_write_json<T: serde::Serialize>(value: &T) {
+    if let Some(path) = json_path() {
+        match serde_json::to_string_pretty(value) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("failed to write {}: {e}", path.display());
+                } else {
+                    eprintln!("[raw results written to {}]", path.display());
+                }
+            }
+            Err(e) => eprintln!("failed to serialize results: {e}"),
+        }
+    }
+}
+
+/// Print a standard experiment header.
+pub fn header(id: &str, title: &str, quick: bool) {
+    println!("================================================================");
+    println!("{id} — {title}");
+    if quick {
+        println!("mode: --quick (scaled-down; see EXPERIMENTS.md for paper-scale)");
+    } else {
+        println!("mode: paper-scale");
+    }
+    println!("================================================================");
+}
+
+/// Run `f`, timing it, and report the wall-clock at the end.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    eprintln!("[{label}: {:.1}s]", start.elapsed().as_secs_f64());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_passes_value_through() {
+        assert_eq!(timed("t", || 41 + 1), 42);
+    }
+}

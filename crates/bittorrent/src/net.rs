@@ -1,0 +1,366 @@
+//! All swarms of a trace, wired to churn: the full BitTorrent substrate.
+//!
+//! [`BitTorrentNet`] owns one [`SwarmSim`] per trace swarm, a global
+//! [`TransferLedger`], and the online/offline state of every peer. Trace
+//! events drive churn and download starts; fixed ticks drive transfers.
+//! Behavioural policies from the paper are applied here:
+//!
+//! * **initial seeders** join their swarm as soon as they are online after
+//!   the swarm is created and keep seeding whenever online (the tracker
+//!   community expects the uploader to sustain the torrent);
+//! * **altruists** seed a completed download until their per-profile seed
+//!   budget of online seeding time is spent;
+//! * **free-riders** "leave swarms as soon as they have downloaded their
+//!   file" (§VI) and never seed.
+
+use crate::ledger::TransferLedger;
+use crate::swarm::{Completion, LinkProfile, MemberRole, SwarmConfig, SwarmSim};
+use rvs_sim::{DetRng, NodeId, SimDuration, SimTime, SwarmId};
+use rvs_trace::{PeerProfile, Trace, TraceEvent, TraceEventKind};
+use std::collections::BTreeMap;
+
+/// Configuration for the whole-network simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// Per-swarm tuning.
+    pub swarm: SwarmConfig,
+    /// Transfer tick length. 10 s matches the rechoke interval and keeps a
+    /// 7-day trace around 60k ticks.
+    pub tick: SimDuration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            swarm: SwarmConfig::default(),
+            tick: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// The BitTorrent substrate: every swarm of a trace plus churn state.
+#[derive(Debug, Clone)]
+pub struct BitTorrentNet {
+    cfg: NetConfig,
+    profiles: Vec<PeerProfile>,
+    swarms: Vec<SwarmSim>,
+    online: Vec<bool>,
+    ledger: TransferLedger,
+    /// Remaining online seeding budget per (peer, swarm) for altruists.
+    seed_budget: BTreeMap<(NodeId, SwarmId), SimDuration>,
+    completions: Vec<Completion>,
+}
+
+impl BitTorrentNet {
+    /// Build the substrate for a trace. No events are applied yet.
+    pub fn new(trace: &Trace, cfg: NetConfig) -> Self {
+        BitTorrentNet {
+            cfg,
+            profiles: trace.peers.clone(),
+            swarms: trace
+                .swarms
+                .iter()
+                .map(|s| SwarmSim::new(*s, cfg.swarm))
+                .collect(),
+            online: vec![false; trace.peers.len()],
+            ledger: TransferLedger::new(),
+            seed_budget: BTreeMap::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    fn link_of(&self, peer: NodeId) -> LinkProfile {
+        let p = &self.profiles[peer.index()];
+        LinkProfile {
+            connectable: p.connectable,
+            uplink_kibps: p.uplink_kibps,
+            downlink_kibps: p.downlink_kibps,
+        }
+    }
+
+    /// Is `peer` currently online?
+    pub fn is_online(&self, peer: NodeId) -> bool {
+        self.online[peer.index()]
+    }
+
+    /// All currently online peers (ascending id).
+    pub fn online_peers(&self) -> Vec<NodeId> {
+        self.online
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &on)| on.then_some(NodeId::from_index(i)))
+            .collect()
+    }
+
+    /// The global transfer ledger.
+    pub fn ledger(&self) -> &TransferLedger {
+        &self.ledger
+    }
+
+    /// Completions observed so far (time-ordered).
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// Access a swarm's simulation state.
+    pub fn swarm(&self, id: SwarmId) -> &SwarmSim {
+        &self.swarms[id.index()]
+    }
+
+    /// Number of swarms in the network.
+    pub fn swarm_count(&self) -> usize {
+        self.swarms.len()
+    }
+
+    /// Apply one trace event at time `now`.
+    pub fn apply_event(&mut self, ev: &TraceEvent, now: SimTime) {
+        match ev.kind {
+            TraceEventKind::Online => {
+                self.online[ev.peer.index()] = true;
+                for sw in &mut self.swarms {
+                    sw.set_online(ev.peer, true);
+                }
+                // Initial seeders (re)join their swarms once online after
+                // swarm creation.
+                let link = self.link_of(ev.peer);
+                for sw in &mut self.swarms {
+                    if sw.spec().initial_seeder == ev.peer
+                        && sw.spec().created <= now
+                        && !sw.is_member(ev.peer)
+                    {
+                        sw.join(ev.peer, MemberRole::Seeder, link, true);
+                    }
+                }
+            }
+            TraceEventKind::Offline => {
+                self.online[ev.peer.index()] = false;
+                for sw in &mut self.swarms {
+                    sw.set_online(ev.peer, false);
+                }
+            }
+            TraceEventKind::StartDownload { swarm } => {
+                let link = self.link_of(ev.peer);
+                let online = self.online[ev.peer.index()];
+                self.swarms[swarm.index()].join(ev.peer, MemberRole::Leecher, link, online);
+            }
+        }
+    }
+
+    /// Advance all swarms by one tick, applying seeding policies.
+    pub fn tick(&mut self, now: SimTime, rng: &mut DetRng) {
+        let dt = self.cfg.tick;
+        let mut new_completions = Vec::new();
+        for sw in &mut self.swarms {
+            new_completions.extend(sw.tick(now, dt, &mut self.ledger, rng));
+        }
+        for c in &new_completions {
+            let profile = &self.profiles[c.peer.index()];
+            if profile.free_rider {
+                // Free-riders quit immediately on completion.
+                self.swarms[c.swarm.index()].leave(c.peer);
+            } else {
+                self.seed_budget
+                    .insert((c.peer, c.swarm), profile.seed_duration);
+            }
+        }
+        self.completions.extend(new_completions);
+
+        // Spend seed budgets for altruists that are online and still
+        // members; leave when exhausted.
+        let mut expired = Vec::new();
+        for (&(peer, swarm), remaining) in self.seed_budget.iter_mut() {
+            if !self.online[peer.index()] {
+                continue;
+            }
+            if !self.swarms[swarm.index()].is_member(peer) {
+                expired.push((peer, swarm));
+                continue;
+            }
+            if remaining.as_millis() <= dt.as_millis() {
+                expired.push((peer, swarm));
+            } else {
+                *remaining = *remaining - dt;
+            }
+        }
+        for (peer, swarm) in expired {
+            self.seed_budget.remove(&(peer, swarm));
+            self.swarms[swarm.index()].leave(peer);
+        }
+    }
+
+    /// Convenience driver: replay the whole trace, ticking transfers and
+    /// invoking `observer` every `sample_every` of simulation time.
+    pub fn run_trace(
+        trace: &Trace,
+        cfg: NetConfig,
+        seed: u64,
+        sample_every: SimDuration,
+        mut observer: impl FnMut(&BitTorrentNet, SimTime),
+    ) -> BitTorrentNet {
+        let mut net = BitTorrentNet::new(trace, cfg);
+        let mut rng = DetRng::new(seed).fork(0xB177);
+        let end = SimTime::ZERO + trace.duration;
+        let mut next_event = 0usize;
+        let mut next_sample = SimTime::ZERO;
+        let mut now = SimTime::ZERO;
+        while now < end {
+            while next_event < trace.events.len() && trace.events[next_event].time <= now {
+                let ev = trace.events[next_event];
+                net.apply_event(&ev, now);
+                next_event += 1;
+            }
+            net.tick(now, &mut rng);
+            if now >= next_sample {
+                observer(&net, now);
+                next_sample = now + sample_every;
+            }
+            now += cfg.tick;
+        }
+        observer(&net, end);
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvs_trace::TraceGenConfig;
+
+    fn quick_trace(seed: u64) -> Trace {
+        TraceGenConfig::quick(15, SimDuration::from_days(1)).generate(seed)
+    }
+
+    #[test]
+    fn trace_replay_moves_data() {
+        let trace = quick_trace(5);
+        let net = BitTorrentNet::run_trace(
+            &trace,
+            NetConfig::default(),
+            1,
+            SimDuration::from_hours(6),
+            |_, _| {},
+        );
+        assert!(
+            net.ledger().total_kib() > 10 * 1024,
+            "expected >10 MiB transferred, got {} KiB",
+            net.ledger().total_kib()
+        );
+    }
+
+    #[test]
+    fn completions_occur_and_are_ordered() {
+        let trace = quick_trace(7);
+        let net = BitTorrentNet::run_trace(
+            &trace,
+            NetConfig::default(),
+            2,
+            SimDuration::from_hours(24),
+            |_, _| {},
+        );
+        let c = net.completions();
+        assert!(!c.is_empty(), "some downloads should complete in a day");
+        for w in c.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn free_riders_leave_after_completion() {
+        let trace = quick_trace(9);
+        let net = BitTorrentNet::run_trace(
+            &trace,
+            NetConfig::default(),
+            3,
+            SimDuration::from_hours(24),
+            |_, _| {},
+        );
+        for c in net.completions() {
+            let p = &trace.peers[c.peer.index()];
+            if p.free_rider {
+                assert!(
+                    !net.swarm(c.swarm).is_member(c.peer),
+                    "free-rider {} should have left swarm {}",
+                    c.peer,
+                    c.swarm
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn online_state_follows_trace() {
+        let trace = quick_trace(11);
+        let mut net = BitTorrentNet::new(&trace, NetConfig::default());
+        let ev = trace
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, TraceEventKind::Online))
+            .unwrap();
+        net.apply_event(ev, ev.time);
+        assert!(net.is_online(ev.peer));
+        let off = TraceEvent {
+            time: ev.time,
+            peer: ev.peer,
+            kind: TraceEventKind::Offline,
+        };
+        net.apply_event(&off, ev.time);
+        assert!(!net.is_online(ev.peer));
+        assert!(net.online_peers().is_empty());
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let trace = quick_trace(13);
+        let run = || {
+            BitTorrentNet::run_trace(
+                &trace,
+                NetConfig::default(),
+                4,
+                SimDuration::from_hours(6),
+                |_, _| {},
+            )
+            .ledger()
+            .clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn observer_called_at_sampling_interval() {
+        let trace = quick_trace(15);
+        let mut samples = Vec::new();
+        BitTorrentNet::run_trace(
+            &trace,
+            NetConfig::default(),
+            5,
+            SimDuration::from_hours(6),
+            |_, t| samples.push(t),
+        );
+        // 24h / 6h = 4 interior samples + initial + final.
+        assert!(samples.len() >= 5, "got {} samples", samples.len());
+        for w in samples.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn initial_seeders_upload_most_early() {
+        let trace = quick_trace(17);
+        let net = BitTorrentNet::run_trace(
+            &trace,
+            NetConfig::default(),
+            6,
+            SimDuration::from_hours(24),
+            |_, _| {},
+        );
+        // Every swarm's initial seeder should have uploaded something
+        // (their swarm had at least one leecher in almost every seed; allow
+        // swarms that attracted no leechers).
+        let uploaded_any = trace
+            .swarms
+            .iter()
+            .filter(|s| net.ledger().total_uploaded_kib(s.initial_seeder) > 0)
+            .count();
+        assert!(uploaded_any >= 1);
+    }
+}

@@ -1,0 +1,602 @@
+//! One swarm: membership, choking, piece transfer, completions.
+//!
+//! The swarm simulator advances in fixed ticks. Each tick it (a) re-runs
+//! the choker when the rechoke interval elapsed, (b) enumerates active
+//! upload connections (unchoked + interested + connectable + both ends
+//! online), (c) splits each peer's uplink across its active uploads and
+//! each downloader's downlink across its active downloads, (d) advances
+//! per-connection piece downloads by `rate × dt`, and (e) reports
+//! completions. All state iterates in `BTreeMap` order and all coin flips
+//! come from the caller's [`DetRng`], so runs are reproducible.
+
+use crate::bitfield::Bitfield;
+use crate::choke::{rechoke, ChokePolicy};
+use crate::ledger::TransferLedger;
+use crate::selection::{pick_piece, Availability};
+use rvs_sim::{DetRng, NodeId, SimDuration, SimTime, SwarmId};
+use rvs_trace::SwarmSpec;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Role of a swarm member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberRole {
+    /// Still downloading.
+    Leecher,
+    /// Has the complete file and uploads only.
+    Seeder,
+}
+
+/// Tuning knobs for the swarm simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwarmConfig {
+    /// Choker slot configuration.
+    pub choke: ChokePolicy,
+    /// How often the choker re-runs (deployed clients: 10 s).
+    pub rechoke_interval: SimDuration,
+    /// The optimistic slot re-rolls every this many rechokes (deployed: 3).
+    pub optimistic_every: u32,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        SwarmConfig {
+            choke: ChokePolicy::default(),
+            rechoke_interval: SimDuration::from_secs(10),
+            optimistic_every: 3,
+        }
+    }
+}
+
+/// A download that finished during a tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The peer that completed.
+    pub peer: NodeId,
+    /// The swarm it completed in.
+    pub swarm: SwarmId,
+    /// Tick time at which completion was detected.
+    pub time: SimTime,
+}
+
+/// Link capacities and reachability of a member, supplied at join time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkProfile {
+    /// Freely connectable (not firewalled)?
+    pub connectable: bool,
+    /// Upload capacity, KiB/s.
+    pub uplink_kibps: u32,
+    /// Download capacity, KiB/s.
+    pub downlink_kibps: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Member {
+    bitfield: Bitfield,
+    role: MemberRole,
+    online: bool,
+    link: LinkProfile,
+    /// Peers this member currently uploads to.
+    unchoked: Vec<NodeId>,
+    optimistic: Option<NodeId>,
+    rechokes: u32,
+    /// Piece currently being fetched from each source: (piece, KiB left).
+    in_flight: BTreeMap<NodeId, (u32, f64)>,
+    /// KiB received per source during the current tit-for-tat window.
+    window_recv: BTreeMap<NodeId, u64>,
+    /// Fractional KiB not yet credited to the ledger, per source.
+    uncredited: BTreeMap<NodeId, f64>,
+}
+
+impl Member {
+    fn requested_pieces(&self) -> BTreeSet<u32> {
+        self.in_flight.values().map(|&(p, _)| p).collect()
+    }
+}
+
+/// Simulation state of a single swarm.
+#[derive(Debug, Clone)]
+pub struct SwarmSim {
+    spec: SwarmSpec,
+    cfg: SwarmConfig,
+    members: BTreeMap<NodeId, Member>,
+    availability: Availability,
+    next_rechoke: SimTime,
+}
+
+impl SwarmSim {
+    /// A fresh swarm for `spec`; nobody has joined yet.
+    pub fn new(spec: SwarmSpec, cfg: SwarmConfig) -> Self {
+        let pieces = spec.piece_count();
+        SwarmSim {
+            spec,
+            cfg,
+            members: BTreeMap::new(),
+            availability: Availability::new(pieces),
+            next_rechoke: spec.created,
+        }
+    }
+
+    /// The swarm's static description.
+    pub fn spec(&self) -> &SwarmSpec {
+        &self.spec
+    }
+
+    /// Add a member. Seeders start with a complete bitfield. No-op if the
+    /// peer is already a member.
+    pub fn join(&mut self, peer: NodeId, role: MemberRole, link: LinkProfile, online: bool) {
+        if self.members.contains_key(&peer) {
+            return;
+        }
+        let pieces = self.spec.piece_count();
+        let bitfield = match role {
+            MemberRole::Seeder => Bitfield::full(pieces),
+            MemberRole::Leecher => Bitfield::empty(pieces),
+        };
+        self.availability.add_bitfield(&bitfield);
+        self.members.insert(
+            peer,
+            Member {
+                bitfield,
+                role,
+                online,
+                link,
+                unchoked: Vec::new(),
+                optimistic: None,
+                rechokes: 0,
+                in_flight: BTreeMap::new(),
+                window_recv: BTreeMap::new(),
+                uncredited: BTreeMap::new(),
+            },
+        );
+    }
+
+    /// Remove a member entirely (quit the swarm).
+    pub fn leave(&mut self, peer: NodeId) {
+        if let Some(m) = self.members.remove(&peer) {
+            self.availability.remove_bitfield(&m.bitfield);
+        }
+        // Drop dangling references held by others.
+        for m in self.members.values_mut() {
+            m.unchoked.retain(|&p| p != peer);
+            if m.optimistic == Some(peer) {
+                m.optimistic = None;
+            }
+            m.in_flight.remove(&peer);
+        }
+    }
+
+    /// Mark a member online/offline (churn). Offline members keep their
+    /// bitfield but take no part in transfers; in-flight fetches pause.
+    pub fn set_online(&mut self, peer: NodeId, online: bool) {
+        if let Some(m) = self.members.get_mut(&peer) {
+            m.online = online;
+        }
+    }
+
+    /// Is `peer` currently a member?
+    pub fn is_member(&self, peer: NodeId) -> bool {
+        self.members.contains_key(&peer)
+    }
+
+    /// The member's role, if present.
+    pub fn role(&self, peer: NodeId) -> Option<MemberRole> {
+        self.members.get(&peer).map(|m| m.role)
+    }
+
+    /// Download progress in `[0, 1]`, if a member.
+    pub fn progress(&self, peer: NodeId) -> Option<f64> {
+        self.members.get(&peer).map(|m| m.bitfield.progress())
+    }
+
+    /// Number of members (online or not).
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// All member ids, ascending.
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.keys().copied()
+    }
+
+    /// Number of online seeders.
+    pub fn online_seeders(&self) -> usize {
+        self.members
+            .values()
+            .filter(|m| m.online && m.role == MemberRole::Seeder)
+            .count()
+    }
+
+    /// Number of online leechers.
+    pub fn online_leechers(&self) -> usize {
+        self.members
+            .values()
+            .filter(|m| m.online && m.role == MemberRole::Leecher)
+            .count()
+    }
+
+    /// Advance the swarm by `dt`, crediting transfers to `ledger`.
+    /// Returns completions detected this tick.
+    pub fn tick(
+        &mut self,
+        now: SimTime,
+        dt: SimDuration,
+        ledger: &mut TransferLedger,
+        rng: &mut DetRng,
+    ) -> Vec<Completion> {
+        if now >= self.next_rechoke {
+            self.run_rechoke(rng);
+            self.next_rechoke = now + self.cfg.rechoke_interval;
+        }
+        self.run_transfers(now, dt, ledger, rng)
+    }
+
+    fn run_rechoke(&mut self, rng: &mut DetRng) {
+        let ids: Vec<NodeId> = self.members.keys().copied().collect();
+        for &u in &ids {
+            let m = &self.members[&u];
+            if !m.online {
+                continue;
+            }
+            // Peers interested in u: online, connectable with u, lacking a
+            // piece u has.
+            let interested: Vec<NodeId> = ids
+                .iter()
+                .copied()
+                .filter(|&v| v != u)
+                .filter(|&v| {
+                    let mv = &self.members[&v];
+                    mv.online
+                        && can_connect(m.link, mv.link)
+                        && mv.bitfield.interested_in(&m.bitfield)
+                })
+                .collect();
+            let m = &self.members[&u];
+            let rotate = m.rechokes.is_multiple_of(self.cfg.optimistic_every);
+            let window = m.window_recv.clone();
+            let decision = rechoke(
+                m.role == MemberRole::Seeder,
+                &interested,
+                |p| window.get(&p).copied().unwrap_or(0),
+                self.cfg.choke,
+                rotate,
+                m.optimistic,
+                rng,
+            );
+            let m = self.members.get_mut(&u).expect("member exists");
+            m.unchoked = decision.unchoked;
+            m.optimistic = decision.optimistic;
+            m.rechokes += 1;
+            m.window_recv.clear();
+        }
+    }
+
+    fn run_transfers(
+        &mut self,
+        now: SimTime,
+        dt: SimDuration,
+        ledger: &mut TransferLedger,
+        rng: &mut DetRng,
+    ) -> Vec<Completion> {
+        // Phase 1: enumerate active connections (u uploads to v).
+        let mut conns: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut up_count: BTreeMap<NodeId, u32> = BTreeMap::new();
+        let mut down_count: BTreeMap<NodeId, u32> = BTreeMap::new();
+        for (&u, m) in &self.members {
+            if !m.online {
+                continue;
+            }
+            for &v in &m.unchoked {
+                let Some(mv) = self.members.get(&v) else {
+                    continue;
+                };
+                if !mv.online || !can_connect(m.link, mv.link) {
+                    continue;
+                }
+                if !mv.bitfield.interested_in(&m.bitfield) {
+                    continue;
+                }
+                conns.push((u, v));
+                *up_count.entry(u).or_insert(0) += 1;
+                *down_count.entry(v).or_insert(0) += 1;
+            }
+        }
+
+        // Phase 2: move bytes along each connection.
+        let dt_secs = dt.as_secs_f64();
+        let piece_kib = self.spec.piece_size_kib as f64;
+        let mut completions = Vec::new();
+        for (u, v) in conns {
+            let nu = up_count[&u] as f64;
+            let mv = down_count[&v] as f64;
+            let up_rate = self.members[&u].link.uplink_kibps as f64 / nu;
+            let down_rate = self.members[&v].link.downlink_kibps as f64 / mv;
+            let mut budget = up_rate.min(down_rate) * dt_secs;
+            if budget <= 0.0 {
+                continue;
+            }
+            // Snapshot of u's bitfield drives piece selection for v.
+            let u_bitfield = self.members[&u].bitfield.clone();
+            let was_complete = self.members[&v].bitfield.is_complete();
+            let mut received = 0.0f64;
+            loop {
+                let member_v = self.members.get_mut(&v).expect("downloader exists");
+                // Ensure v has an in-flight piece from u.
+                if !member_v.in_flight.contains_key(&u) {
+                    let requested = member_v.requested_pieces();
+                    // Prefer unrequested pieces; fall back to any missing
+                    // piece (endgame mode) so transfers never stall.
+                    let pick = {
+                        let mut masked = member_v.bitfield.clone();
+                        for p in &requested {
+                            masked.set(*p);
+                        }
+                        pick_piece(&masked, &u_bitfield, &self.availability, rng).or_else(|| {
+                            pick_piece(
+                                &member_v.bitfield,
+                                &u_bitfield,
+                                &self.availability,
+                                rng,
+                            )
+                        })
+                    };
+                    match pick {
+                        Some(p) => {
+                            member_v.in_flight.insert(u, (p, piece_kib));
+                        }
+                        None => break, // nothing useful on this connection
+                    }
+                }
+                let (piece, remaining) = member_v.in_flight.get_mut(&u).expect("in flight");
+                let step = budget.min(*remaining);
+                *remaining -= step;
+                budget -= step;
+                received += step;
+                if *remaining <= 1e-9 {
+                    let done = *piece;
+                    member_v.in_flight.remove(&u);
+                    if member_v.bitfield.set(done) {
+                        self.availability.add_piece(done);
+                    }
+                } else {
+                    break; // budget exhausted mid-piece
+                }
+                if budget <= 1e-9 {
+                    break;
+                }
+            }
+            if received > 0.0 {
+                let member_v = self.members.get_mut(&v).expect("downloader exists");
+                *member_v.window_recv.entry(u).or_insert(0) += received.round() as u64;
+                let frac = member_v.uncredited.entry(u).or_insert(0.0);
+                *frac += received;
+                let whole = frac.floor() as u64;
+                if whole > 0 {
+                    *frac -= whole as f64;
+                    ledger.credit(u, v, whole);
+                }
+                let member_v = &self.members[&v];
+                if !was_complete && member_v.bitfield.is_complete() {
+                    completions.push(Completion {
+                        peer: v,
+                        swarm: self.spec.id,
+                        time: now,
+                    });
+                }
+            }
+        }
+
+        // Promote completed leechers to seeders; the caller decides whether
+        // they stay (altruist) or leave (free-rider).
+        for c in &completions {
+            if let Some(m) = self.members.get_mut(&c.peer) {
+                m.role = MemberRole::Seeder;
+                m.in_flight.clear();
+            }
+        }
+        completions
+    }
+}
+
+/// BitTorrent reachability: at least one endpoint must be connectable.
+#[inline]
+fn can_connect(a: LinkProfile, b: LinkProfile) -> bool {
+    a.connectable || b.connectable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(pieces_mib: u32) -> SwarmSpec {
+        SwarmSpec {
+            id: SwarmId(0),
+            created: SimTime::ZERO,
+            file_size_mib: pieces_mib,
+            piece_size_kib: 256,
+            initial_seeder: NodeId(0),
+        }
+    }
+
+    fn link(connectable: bool, up: u32) -> LinkProfile {
+        LinkProfile {
+            connectable,
+            uplink_kibps: up,
+            downlink_kibps: up * 4,
+        }
+    }
+
+    fn drive_from(
+        sim: &mut SwarmSim,
+        start_hour: u64,
+        hours: u64,
+        ledger: &mut TransferLedger,
+    ) -> Vec<Completion> {
+        let mut rng = DetRng::new(99);
+        let mut out = Vec::new();
+        let dt = SimDuration::from_secs(10);
+        let mut now = SimTime::from_hours(start_hour);
+        let end = SimTime::from_hours(start_hour + hours);
+        while now < end {
+            out.extend(sim.tick(now, dt, ledger, &mut rng));
+            now += dt;
+        }
+        out
+    }
+
+    fn drive(sim: &mut SwarmSim, hours: u64, ledger: &mut TransferLedger) -> Vec<Completion> {
+        drive_from(sim, 0, hours, ledger)
+    }
+
+    #[test]
+    fn single_leecher_downloads_from_seeder() {
+        let mut sim = SwarmSim::new(spec(10), SwarmConfig::default());
+        sim.join(NodeId(0), MemberRole::Seeder, link(true, 512), true);
+        sim.join(NodeId(1), MemberRole::Leecher, link(true, 512), true);
+        let mut ledger = TransferLedger::new();
+        let completions = drive(&mut sim, 1, &mut ledger);
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].peer, NodeId(1));
+        assert_eq!(sim.role(NodeId(1)), Some(MemberRole::Seeder));
+        // 10 MiB moved from seeder to leecher (within rounding).
+        let moved = ledger.uploaded_mib(NodeId(0), NodeId(1));
+        assert!((moved - 10.0).abs() < 0.1, "moved {moved} MiB");
+    }
+
+    #[test]
+    fn transfer_respects_uplink_capacity() {
+        // 64 KiB/s uplink, 1 hour => at most 225 MiB; file is 300 MiB.
+        let mut sim = SwarmSim::new(spec(300), SwarmConfig::default());
+        sim.join(NodeId(0), MemberRole::Seeder, link(true, 64), true);
+        sim.join(NodeId(1), MemberRole::Leecher, link(true, 512), true);
+        let mut ledger = TransferLedger::new();
+        let completions = drive(&mut sim, 1, &mut ledger);
+        assert!(completions.is_empty());
+        let moved = ledger.uploaded_kib(NodeId(0), NodeId(1));
+        let cap = 64 * 3600;
+        assert!(moved <= cap, "moved {moved} KiB exceeds uplink cap {cap}");
+        assert!(moved > cap / 2, "transfer unreasonably slow: {moved} KiB");
+    }
+
+    #[test]
+    fn firewalled_pair_cannot_transfer() {
+        let mut sim = SwarmSim::new(spec(5), SwarmConfig::default());
+        sim.join(NodeId(0), MemberRole::Seeder, link(false, 512), true);
+        sim.join(NodeId(1), MemberRole::Leecher, link(false, 512), true);
+        let mut ledger = TransferLedger::new();
+        let completions = drive(&mut sim, 1, &mut ledger);
+        assert!(completions.is_empty());
+        assert_eq!(ledger.total_kib(), 0);
+    }
+
+    #[test]
+    fn one_connectable_endpoint_suffices() {
+        let mut sim = SwarmSim::new(spec(5), SwarmConfig::default());
+        sim.join(NodeId(0), MemberRole::Seeder, link(false, 512), true);
+        sim.join(NodeId(1), MemberRole::Leecher, link(true, 512), true);
+        let mut ledger = TransferLedger::new();
+        let completions = drive(&mut sim, 1, &mut ledger);
+        assert_eq!(completions.len(), 1);
+    }
+
+    #[test]
+    fn offline_members_make_no_progress() {
+        let mut sim = SwarmSim::new(spec(5), SwarmConfig::default());
+        sim.join(NodeId(0), MemberRole::Seeder, link(true, 512), true);
+        sim.join(NodeId(1), MemberRole::Leecher, link(true, 512), false);
+        let mut ledger = TransferLedger::new();
+        assert!(drive(&mut sim, 1, &mut ledger).is_empty());
+        assert_eq!(ledger.total_kib(), 0);
+        // Coming online resumes the download (time continues forward).
+        sim.set_online(NodeId(1), true);
+        assert_eq!(drive_from(&mut sim, 1, 1, &mut ledger).len(), 1);
+    }
+
+    #[test]
+    fn leechers_reciprocate_among_themselves() {
+        // Seeder with slow uplink plus two fast leechers: leecher-to-leecher
+        // trading should carry real volume.
+        let mut sim = SwarmSim::new(spec(50), SwarmConfig::default());
+        sim.join(NodeId(0), MemberRole::Seeder, link(true, 128), true);
+        sim.join(NodeId(1), MemberRole::Leecher, link(true, 512), true);
+        sim.join(NodeId(2), MemberRole::Leecher, link(true, 512), true);
+        let mut ledger = TransferLedger::new();
+        drive(&mut sim, 2, &mut ledger);
+        let peer_to_peer = ledger.uploaded_kib(NodeId(1), NodeId(2))
+            + ledger.uploaded_kib(NodeId(2), NodeId(1));
+        assert!(
+            peer_to_peer > 1024,
+            "leecher trading too small: {peer_to_peer} KiB"
+        );
+    }
+
+    #[test]
+    fn swarm_of_many_leechers_all_complete() {
+        let mut sim = SwarmSim::new(spec(20), SwarmConfig::default());
+        sim.join(NodeId(0), MemberRole::Seeder, link(true, 512), true);
+        for i in 1..8 {
+            sim.join(NodeId(i), MemberRole::Leecher, link(i % 2 == 0, 256), true);
+        }
+        let mut ledger = TransferLedger::new();
+        let completions = drive(&mut sim, 8, &mut ledger);
+        assert_eq!(completions.len(), 7, "all leechers should finish");
+        for i in 1..8 {
+            assert_eq!(sim.progress(NodeId(i)), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn leave_removes_member_and_references() {
+        let mut sim = SwarmSim::new(spec(10), SwarmConfig::default());
+        sim.join(NodeId(0), MemberRole::Seeder, link(true, 512), true);
+        sim.join(NodeId(1), MemberRole::Leecher, link(true, 512), true);
+        let mut ledger = TransferLedger::new();
+        let mut rng = DetRng::new(1);
+        sim.tick(SimTime::ZERO, SimDuration::from_secs(10), &mut ledger, &mut rng);
+        sim.leave(NodeId(0));
+        assert!(!sim.is_member(NodeId(0)));
+        assert_eq!(sim.member_count(), 1);
+        // Downloader can no longer progress.
+        let before = ledger.total_kib();
+        sim.tick(
+            SimTime::from_secs(10),
+            SimDuration::from_secs(10),
+            &mut ledger,
+            &mut rng,
+        );
+        assert_eq!(ledger.total_kib(), before);
+    }
+
+    #[test]
+    fn join_is_idempotent() {
+        let mut sim = SwarmSim::new(spec(10), SwarmConfig::default());
+        sim.join(NodeId(1), MemberRole::Leecher, link(true, 512), true);
+        sim.join(NodeId(1), MemberRole::Seeder, link(true, 512), true);
+        assert_eq!(sim.role(NodeId(1)), Some(MemberRole::Leecher));
+        assert_eq!(sim.member_count(), 1);
+    }
+
+    #[test]
+    fn counts_reflect_roles_and_presence() {
+        let mut sim = SwarmSim::new(spec(10), SwarmConfig::default());
+        sim.join(NodeId(0), MemberRole::Seeder, link(true, 512), true);
+        sim.join(NodeId(1), MemberRole::Leecher, link(true, 512), true);
+        sim.join(NodeId(2), MemberRole::Leecher, link(true, 512), false);
+        assert_eq!(sim.online_seeders(), 1);
+        assert_eq!(sim.online_leechers(), 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sim = SwarmSim::new(spec(30), SwarmConfig::default());
+            sim.join(NodeId(0), MemberRole::Seeder, link(true, 256), true);
+            for i in 1..6 {
+                sim.join(NodeId(i), MemberRole::Leecher, link(true, 256), true);
+            }
+            let mut ledger = TransferLedger::new();
+            drive(&mut sim, 3, &mut ledger);
+            ledger
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,77 @@
+//! The Collective Experience Value (paper §VI-A).
+//!
+//! `E` is binary and non-symmetric, so the CEV averages it over all
+//! ordered pairs:
+//!
+//! ```text
+//! CEV = (1/N) Σ_{i∈N} Σ_{j≠i} e_i(j) / (N − 1)
+//! ```
+//!
+//! i.e. the density of the directed experience graph. "The CEV value is
+//! therefore a measurement requiring global information … it plays no part
+//! in the protocols running in the nodes."
+
+use rvs_sim::NodeId;
+
+/// Compute the CEV over a population of `n` nodes given the experience
+/// predicate `e(i, j) = E_i(j)`. Returns a value in `[0, 1]`; 0 for
+/// populations smaller than two.
+pub fn collective_experience_value(n: usize, mut e: impl FnMut(NodeId, NodeId) -> bool) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    let mut sum = 0u64;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && e(NodeId::from_index(i), NodeId::from_index(j)) {
+                sum += 1;
+            }
+        }
+    }
+    sum as f64 / (n as f64 * (n as f64 - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton_are_zero() {
+        assert_eq!(collective_experience_value(0, |_, _| true), 0.0);
+        assert_eq!(collective_experience_value(1, |_, _| true), 0.0);
+    }
+
+    #[test]
+    fn full_experience_is_one() {
+        assert_eq!(collective_experience_value(10, |_, _| true), 1.0);
+    }
+
+    #[test]
+    fn no_experience_is_zero() {
+        assert_eq!(collective_experience_value(10, |_, _| false), 0.0);
+    }
+
+    #[test]
+    fn asymmetric_pairs_count_once_each() {
+        // Only e_0(1) = true out of 6 ordered pairs in a 3-node system.
+        let cev = collective_experience_value(3, |i, j| i == NodeId(0) && j == NodeId(1));
+        assert!((cev - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_density_core() {
+        // Nodes 0..5 form a complete experienced core within a population
+        // of 10: 5*4 = 20 experienced ordered pairs of 90 total.
+        let cev =
+            collective_experience_value(10, |i, j| i.index() < 5 && j.index() < 5);
+        assert!((cev - 20.0 / 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_is_excluded() {
+        // Predicate true everywhere including the diagonal; the diagonal
+        // must not inflate the result above 1.
+        let cev = collective_experience_value(4, |_, _| true);
+        assert_eq!(cev, 1.0);
+    }
+}

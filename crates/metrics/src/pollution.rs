@@ -1,0 +1,75 @@
+//! Spam-pollution measure (Figure 8).
+//!
+//! Under a flash-crowd attack promoting spam moderator `M0`, Figure 8
+//! plots "the proportion of newly arrived nodes ranking M0 top". A node is
+//! *polluted* when the first entry of its current ranking is the spam
+//! moderator.
+
+use rvs_sim::ModeratorId;
+
+/// Is a ranking polluted — i.e. is `spam` its top entry?
+pub fn is_polluted(ranking: &[ModeratorId], spam: ModeratorId) -> bool {
+    ranking.first() == Some(&spam)
+}
+
+/// Fraction of the given rankings that put `spam` on top. Returns 0 for an
+/// empty population.
+pub fn pollution_fraction<'a>(
+    rankings: impl Iterator<Item = &'a [ModeratorId]>,
+    spam: ModeratorId,
+) -> f64 {
+    let mut total = 0usize;
+    let mut polluted = 0usize;
+    for r in rankings {
+        total += 1;
+        if is_polluted(r, spam) {
+            polluted += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        polluted as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvs_sim::NodeId;
+
+    fn ids(v: &[u32]) -> Vec<ModeratorId> {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn top_spam_is_polluted() {
+        assert!(is_polluted(&ids(&[0, 1, 2]), NodeId(0)));
+    }
+
+    #[test]
+    fn lower_ranked_spam_is_clean() {
+        assert!(!is_polluted(&ids(&[1, 0, 2]), NodeId(0)));
+    }
+
+    #[test]
+    fn empty_ranking_is_clean() {
+        assert!(!is_polluted(&ids(&[]), NodeId(0)));
+    }
+
+    #[test]
+    fn fraction_over_population() {
+        let a = ids(&[0, 1]);
+        let b = ids(&[1, 0]);
+        let c = ids(&[0]);
+        let d = ids(&[]);
+        let rankings = [a.as_slice(), b.as_slice(), c.as_slice(), d.as_slice()];
+        let f = pollution_fraction(rankings.into_iter(), NodeId(0));
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_population_is_zero() {
+        assert_eq!(pollution_fraction(std::iter::empty(), NodeId(0)), 0.0);
+    }
+}

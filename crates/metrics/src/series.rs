@@ -1,0 +1,214 @@
+//! Time series: per-run measurement streams and multi-run aggregation.
+//!
+//! Every experiment samples its metric on a fixed wall-clock grid (e.g.
+//! hourly), producing one [`TimeSeries`] per run; 10-run averages (as in
+//! Figures 6 and 8) align runs point-by-point on that shared grid.
+
+use rvs_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One measurement point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// When the measurement was taken.
+    pub time: SimTime,
+    /// The measured value.
+    pub value: f64,
+}
+
+/// A time-ordered sequence of measurements.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Label used when rendering (e.g. `"T=5MB"` or `"crowd=2x"`).
+    pub label: String,
+    /// Samples in non-decreasing time order.
+    pub samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// An empty series with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        TimeSeries {
+            label: label.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Append a sample; must not go backwards in time.
+    pub fn push(&mut self, time: SimTime, value: f64) {
+        if let Some(last) = self.samples.last() {
+            assert!(
+                time >= last.time,
+                "samples must be appended in time order ({time} after {})",
+                last.time
+            );
+        }
+        self.samples.push(Sample { time, value });
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The last sample, if any.
+    pub fn last(&self) -> Option<Sample> {
+        self.samples.last().copied()
+    }
+
+    /// Value at (the sample closest to, from below) `t`.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        self.samples
+            .iter()
+            .take_while(|s| s.time <= t)
+            .last()
+            .map(|s| s.value)
+    }
+
+    /// Point-wise mean of several runs sampled on the same grid.
+    ///
+    /// # Panics
+    /// Panics when runs disagree on length or sampling times — that would
+    /// mean the experiment harness drifted between runs.
+    pub fn mean_over(label: impl Into<String>, runs: &[TimeSeries]) -> TimeSeries {
+        assert!(!runs.is_empty(), "mean_over needs at least one run");
+        let n = runs[0].len();
+        for r in runs {
+            assert_eq!(r.len(), n, "runs must share the sampling grid");
+        }
+        let mut out = TimeSeries::new(label);
+        for idx in 0..n {
+            let t = runs[0].samples[idx].time;
+            let mut sum = 0.0;
+            for r in runs {
+                assert_eq!(
+                    r.samples[idx].time, t,
+                    "runs must share the sampling grid"
+                );
+                sum += r.samples[idx].value;
+            }
+            out.push(t, sum / runs.len() as f64);
+        }
+        out
+    }
+
+    /// Render several series as an aligned text table (time in hours),
+    /// matching the bench binaries' output format.
+    pub fn render_table(series: &[&TimeSeries]) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:>8}", "hours"));
+        for s in series {
+            out.push_str(&format!("  {:>14}", s.label));
+        }
+        out.push('\n');
+        let rows = series.iter().map(|s| s.len()).max().unwrap_or(0);
+        for i in 0..rows {
+            let t = series
+                .iter()
+                .find_map(|s| s.samples.get(i).map(|p| p.time))
+                .unwrap_or(SimTime::ZERO);
+            out.push_str(&format!("{:>8.1}", t.as_hours_f64()));
+            for s in series {
+                match s.samples.get(i) {
+                    Some(p) => out.push_str(&format!("  {:>14.4}", p.value)),
+                    None => out.push_str(&format!("  {:>14}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {}", self.label)?;
+        for s in &self.samples {
+            writeln!(f, "{:.2}\t{:.6}", s.time.as_hours_f64(), s.value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvs_sim::SimDuration;
+
+    fn series(label: &str, values: &[f64]) -> TimeSeries {
+        let mut s = TimeSeries::new(label);
+        let mut t = SimTime::ZERO;
+        for &v in values {
+            s.push(t, v);
+            t += SimDuration::from_hours(1);
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_query() {
+        let s = series("a", &[0.0, 0.5, 1.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.last().unwrap().value, 1.0);
+        assert_eq!(s.value_at(SimTime::from_mins(90)), Some(0.5));
+        assert_eq!(s.value_at(SimTime::ZERO), Some(0.0));
+    }
+
+    #[test]
+    fn value_before_first_sample_is_none() {
+        let mut s = TimeSeries::new("a");
+        s.push(SimTime::from_hours(5), 1.0);
+        assert_eq!(s.value_at(SimTime::from_hours(4)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn backwards_push_panics() {
+        let mut s = TimeSeries::new("a");
+        s.push(SimTime::from_hours(2), 1.0);
+        s.push(SimTime::from_hours(1), 2.0);
+    }
+
+    #[test]
+    fn mean_over_averages_pointwise() {
+        let a = series("r1", &[0.0, 1.0]);
+        let b = series("r2", &[1.0, 0.0]);
+        let m = TimeSeries::mean_over("avg", &[a, b]);
+        assert_eq!(m.samples[0].value, 0.5);
+        assert_eq!(m.samples[1].value, 0.5);
+        assert_eq!(m.label, "avg");
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling grid")]
+    fn mean_over_rejects_misaligned_runs() {
+        let a = series("r1", &[0.0, 1.0]);
+        let b = series("r2", &[1.0]);
+        TimeSeries::mean_over("avg", &[a, b]);
+    }
+
+    #[test]
+    fn render_table_includes_labels_and_rows() {
+        let a = series("alpha", &[0.1, 0.2]);
+        let b = series("beta", &[0.3, 0.4]);
+        let table = TimeSeries::render_table(&[&a, &b]);
+        assert!(table.contains("alpha"));
+        assert!(table.contains("beta"));
+        assert!(table.lines().count() == 3);
+        assert!(table.contains("0.1000"));
+    }
+
+    #[test]
+    fn display_emits_gnuplot_friendly_lines() {
+        let s = series("x", &[0.25]);
+        let text = s.to_string();
+        assert!(text.starts_with("# x"));
+        assert!(text.contains("0.00\t0.250000"));
+    }
+}

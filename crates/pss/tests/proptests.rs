@@ -1,0 +1,96 @@
+//! Property-based tests for the peer samplers under randomized churn.
+
+use proptest::prelude::*;
+use rvs_pss::{NewscastConfig, NewscastPss, OraclePss, PeerSampler};
+use rvs_sim::{DetRng, NodeId, SimDuration, SimTime};
+
+#[derive(Debug, Clone, Copy)]
+enum Churn {
+    Online(u32),
+    Offline(u32),
+    Sample(u32),
+}
+
+fn arb_churn(n: u32) -> impl Strategy<Value = Churn> {
+    prop_oneof![
+        (0..n).prop_map(Churn::Online),
+        (0..n).prop_map(Churn::Offline),
+        (0..n).prop_map(Churn::Sample),
+    ]
+}
+
+proptest! {
+    /// The oracle's sample is always a *currently online* peer and never
+    /// the requester, no matter the churn interleaving.
+    #[test]
+    fn oracle_sample_is_online_non_self(
+        ops in prop::collection::vec(arb_churn(16), 0..200),
+        seed: u64,
+    ) {
+        let mut pss = OraclePss::new(16);
+        let mut online = std::collections::BTreeSet::new();
+        let mut rng = DetRng::new(seed);
+        for op in ops {
+            match op {
+                Churn::Online(p) => {
+                    pss.set_online(NodeId(p));
+                    online.insert(p);
+                }
+                Churn::Offline(p) => {
+                    pss.set_offline(NodeId(p));
+                    online.remove(&p);
+                }
+                Churn::Sample(p) => {
+                    let picked = pss.sample(NodeId(p), &mut rng);
+                    match picked {
+                        Some(q) => {
+                            prop_assert!(online.contains(&q.0), "sampled offline {q}");
+                            prop_assert_ne!(q, NodeId(p));
+                        }
+                        None => {
+                            // Only legal when nobody else is online.
+                            let others = online.iter().filter(|&&x| x != p).count();
+                            prop_assert_eq!(others, 0);
+                        }
+                    }
+                    prop_assert_eq!(pss.online_count(), online.len());
+                }
+            }
+        }
+    }
+
+    /// Newscast never returns the requester, never exceeds its view bound,
+    /// and view entries always refer to population members.
+    #[test]
+    fn newscast_view_invariants(
+        ops in prop::collection::vec(arb_churn(12), 0..150),
+        seed: u64,
+    ) {
+        let cfg = NewscastConfig { view_size: 6 };
+        let mut pss = NewscastPss::new(12, cfg);
+        let mut rng = DetRng::new(seed);
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            now += SimDuration::from_secs(5);
+            match op {
+                Churn::Online(p) => {
+                    let intro = (p != 0).then_some(NodeId(0));
+                    pss.set_online(NodeId(p), intro, now);
+                }
+                Churn::Offline(p) => pss.set_offline(NodeId(p)),
+                Churn::Sample(p) => {
+                    if let Some(q) = pss.sample(NodeId(p), &mut rng) {
+                        prop_assert_ne!(q, NodeId(p));
+                        prop_assert!(q.index() < 12);
+                    }
+                }
+            }
+            pss.gossip_round(now, &mut rng);
+            for i in 0..12 {
+                let view = pss.view_of(NodeId(i));
+                prop_assert!(view.len() <= cfg.view_size);
+                prop_assert!(!view.contains(&NodeId(i)), "self entry in view");
+            }
+        }
+    }
+}

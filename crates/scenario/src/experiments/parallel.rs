@@ -1,0 +1,90 @@
+//! Fan independent simulation runs out across threads.
+//!
+//! Multi-run averages (the paper uses 10 runs per configuration) and
+//! parameter sweeps are embarrassingly parallel: every run owns its whole
+//! system state and shares nothing. We use `crossbeam::thread::scope` so
+//! run closures may borrow the (read-only) configuration from the caller's
+//! stack, and collect results through a `parking_lot::Mutex`, preserving
+//! run order by index.
+
+use parking_lot::Mutex;
+
+/// Execute `f(0..n)` across up to `max_threads` worker threads and return
+/// the results in index order. `f` must be deterministic per index —
+/// thread scheduling never affects results, only wall-clock time.
+pub fn parallel_runs<T, F>(n: usize, max_threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(max_threads > 0, "need at least one worker");
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next: Mutex<usize> = Mutex::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..max_threads.min(n.max(1)) {
+            scope.spawn(|_| loop {
+                let idx = {
+                    let mut guard = next.lock();
+                    if *guard >= n {
+                        break;
+                    }
+                    let i = *guard;
+                    *guard += 1;
+                    i
+                };
+                let value = f(idx);
+                results.lock()[idx] = Some(value);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|v| v.expect("all indices computed"))
+        .collect()
+}
+
+/// Default worker count: the machine's parallelism, capped at the number
+/// of runs.
+pub fn default_threads(runs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(runs.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = parallel_runs(16, 4, |i| i * i);
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let out = parallel_runs(5, 1, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn more_threads_than_runs() {
+        let out = parallel_runs(2, 16, |i| i);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_runs_yield_empty() {
+        let out: Vec<usize> = parallel_runs(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_threads_is_positive_and_capped() {
+        assert!(default_threads(100) >= 1);
+        assert_eq!(default_threads(1), 1);
+    }
+}

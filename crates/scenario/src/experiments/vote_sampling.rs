@@ -1,0 +1,235 @@
+//! Figure 6 — effectiveness of the vote-sampling system over time.
+//!
+//! Setup (paper §VI-B): "We set the first three nodes (M1, M2 and M3)
+//! entering the system to be moderators and to spread a moderation related
+//! to a .torrent file. We selected 10% of the population at random to
+//! provide a positive vote for M1 and 10% to provide a negative vote for
+//! M3. M2 gets no votes. Hence the correct ordering, based on the popular
+//! vote, should be M1 > M2 > M3." BallotBox runs with `B_min = 5`,
+//! `B_max = 100`; VoxPopuli with `V_max = 10`, `K = 3`.
+//!
+//! The measured quantity is the fraction of nodes whose displayed ranking
+//! orders M1 > M2 > M3; the paper shows three typical single-trace runs
+//! plus the average over 10 independent traces.
+
+use crate::config::{ModeratorSpec, ProtocolConfig, ScenarioSetup, VoterSpec};
+use crate::experiments::parallel::{default_threads, parallel_runs};
+use crate::system::System;
+use rvs_metrics::TimeSeries;
+use rvs_modcast::{ContentQuality, LocalVote};
+use rvs_sim::{DetRng, ModeratorId, NodeId, SimDuration, SimTime, SwarmId};
+use rvs_trace::{Trace, TraceGenConfig};
+
+/// Configuration for the Figure 6 experiment.
+#[derive(Debug, Clone)]
+pub struct VoteSamplingConfig {
+    /// Trace generator settings.
+    pub trace: TraceGenConfig,
+    /// Protocol tuning (defaults carry the paper's B_min/B_max/V_max/K).
+    pub protocol: ProtocolConfig,
+    /// Fraction voting `+` on M1 (paper: 0.10).
+    pub positive_fraction: f64,
+    /// Fraction voting `−` on M3 (paper: 0.10).
+    pub negative_fraction: f64,
+    /// Independent trace runs to average (paper: 10).
+    pub runs: usize,
+    /// Base seed; run `r` uses `base_seed + r`.
+    pub base_seed: u64,
+    /// Sampling interval of the accuracy curve.
+    pub sample_every: SimDuration,
+    /// Simulated span.
+    pub duration: SimDuration,
+}
+
+impl VoteSamplingConfig {
+    /// The paper's Figure 6 setup.
+    pub fn paper() -> Self {
+        VoteSamplingConfig {
+            trace: TraceGenConfig::filelist_like(),
+            protocol: ProtocolConfig::default(),
+            positive_fraction: 0.10,
+            negative_fraction: 0.10,
+            runs: 10,
+            base_seed: 100,
+            sample_every: SimDuration::from_hours(2),
+            duration: SimDuration::from_days(7),
+        }
+    }
+
+    /// A fast, scaled-down run for tests, the quickstart example, and the
+    /// facade doctest. Uses a denser voter assignment so the tiny
+    /// population still produces meaningful samples.
+    pub fn quick_demo(seed: u64) -> Self {
+        VoteSamplingConfig {
+            trace: TraceGenConfig::quick(24, SimDuration::from_hours(36)),
+            protocol: ProtocolConfig {
+                experience_t_mib: 1.0,
+                ..ProtocolConfig::default()
+            },
+            positive_fraction: 0.25,
+            negative_fraction: 0.25,
+            runs: 2,
+            base_seed: seed,
+            sample_every: SimDuration::from_hours(4),
+            duration: SimDuration::from_hours(36),
+        }
+    }
+}
+
+/// Result of the Figure 6 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoteSamplingOutcome {
+    /// Per-run accuracy curves ("three typical runs" in the paper).
+    pub typical: Vec<TimeSeries>,
+    /// Point-wise mean over all runs.
+    pub accuracy: TimeSeries,
+    /// The moderators `[M1, M2, M3]` of the *first* run (ids differ per
+    /// trace; exposed for inspection).
+    pub moderators: [ModeratorId; 3],
+}
+
+/// Build the Figure 6 scenario cast for a given trace.
+pub fn fig6_setup(
+    trace: &Trace,
+    positive_fraction: f64,
+    negative_fraction: f64,
+    seed: u64,
+) -> (ScenarioSetup, [ModeratorId; 3]) {
+    let order = trace.arrival_order();
+    assert!(order.len() >= 6, "population too small for the Fig 6 cast");
+    let m = [order[0], order[1], order[2]];
+    let n_swarms = trace.swarms.len() as u32;
+    let moderators = (0..3)
+        .map(|k| ModeratorSpec {
+            moderator: m[k],
+            swarm: SwarmId(k as u32 % n_swarms),
+            quality: ContentQuality::Genuine,
+            publish_at: trace.peers[m[k].index()].arrival,
+        })
+        .collect();
+
+    // Random voter assignment over the non-moderator population.
+    let mut rng = DetRng::new(seed).fork(0xF166);
+    let candidates: Vec<NodeId> = order.iter().copied().filter(|n| !m.contains(n)).collect();
+    let n_pos = ((trace.peer_count() as f64) * positive_fraction).round() as usize;
+    let n_neg = ((trace.peer_count() as f64) * negative_fraction).round() as usize;
+    let picks = rng.sample_indices(candidates.len(), (n_pos + n_neg).min(candidates.len()));
+    let mut voters = Vec::with_capacity(picks.len());
+    for (k, idx) in picks.into_iter().enumerate() {
+        let voter = candidates[idx];
+        if k < n_pos {
+            voters.push(VoterSpec {
+                voter,
+                moderator: m[0],
+                vote: LocalVote::Approve,
+            });
+        } else {
+            voters.push(VoterSpec {
+                voter,
+                moderator: m[2],
+                vote: LocalVote::Disapprove,
+            });
+        }
+    }
+    (
+        ScenarioSetup {
+            moderators,
+            voters,
+            core: None,
+            crowd: None,
+        },
+        m,
+    )
+}
+
+/// Run one Figure 6 trace and return its accuracy curve.
+fn run_one(cfg: &VoteSamplingConfig, run: usize) -> (TimeSeries, [ModeratorId; 3]) {
+    let seed = cfg.base_seed + run as u64;
+    let trace = cfg.trace.generate(seed);
+    let (setup, m) = fig6_setup(&trace, cfg.positive_fraction, cfg.negative_fraction, seed);
+    let mut system = System::new(trace, cfg.protocol, setup, seed);
+    let mut series = TimeSeries::new(format!("run {run}"));
+    let end = SimTime::ZERO + cfg.duration;
+    system.run_until(end, cfg.sample_every, |sys, now| {
+        series.push(now, sys.ordering_accuracy(&m));
+    });
+    (series, m)
+}
+
+/// Run the full Figure 6 experiment (parallel over traces).
+pub fn run_vote_sampling(cfg: &VoteSamplingConfig) -> VoteSamplingOutcome {
+    assert!(cfg.runs >= 1);
+    let results = parallel_runs(cfg.runs, default_threads(cfg.runs), |r| run_one(cfg, r));
+    let moderators = results[0].1;
+    let typical: Vec<TimeSeries> = results.into_iter().map(|(s, _)| s).collect();
+    let accuracy = TimeSeries::mean_over(format!("avg of {}", cfg.runs), &typical);
+    VoteSamplingOutcome {
+        typical,
+        accuracy,
+        moderators,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_cast_matches_paper_shape() {
+        let trace = TraceGenConfig::quick(30, SimDuration::from_hours(24)).generate(9);
+        let (setup, m) = fig6_setup(&trace, 0.1, 0.1, 9);
+        assert_eq!(setup.moderators.len(), 3);
+        assert_eq!(setup.moderators[0].moderator, m[0]);
+        let pos = setup
+            .voters
+            .iter()
+            .filter(|v| v.vote == LocalVote::Approve)
+            .count();
+        let neg = setup.voters.len() - pos;
+        assert_eq!(pos, 3, "10% of 30");
+        assert_eq!(neg, 3);
+        // Voters vote on the right moderators and are not moderators.
+        for v in &setup.voters {
+            assert!(!m.contains(&v.voter));
+            match v.vote {
+                LocalVote::Approve => assert_eq!(v.moderator, m[0]),
+                LocalVote::Disapprove => assert_eq!(v.moderator, m[2]),
+            }
+        }
+    }
+
+    #[test]
+    fn voters_are_distinct() {
+        let trace = TraceGenConfig::quick(40, SimDuration::from_hours(24)).generate(2);
+        let (setup, _) = fig6_setup(&trace, 0.2, 0.2, 2);
+        let mut ids: Vec<NodeId> = setup.voters.iter().map(|v| v.voter).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "a node holds at most one assignment");
+    }
+
+    #[test]
+    fn quick_demo_converges_to_majority_accuracy() {
+        let cfg = VoteSamplingConfig::quick_demo(42);
+        let outcome = run_vote_sampling(&cfg);
+        assert_eq!(outcome.typical.len(), 2);
+        let last = outcome.accuracy.last().expect("non-empty");
+        assert!(
+            last.value > 0.5,
+            "most nodes should order M1 > M2 > M3 by the end; got {}",
+            last.value
+        );
+        // Accuracy starts near zero: nobody has votes or rankings yet.
+        let first = outcome.accuracy.samples.first().unwrap();
+        assert!(first.value < 0.3, "accuracy starts low, got {}", first.value);
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        let cfg = VoteSamplingConfig::quick_demo(7);
+        let a = run_vote_sampling(&cfg);
+        let b = run_vote_sampling(&cfg);
+        assert_eq!(a, b);
+    }
+}

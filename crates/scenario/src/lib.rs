@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Full-system wiring and the paper's experiments.
+//!
+//! [`System`] assembles every substrate — trace-driven churn, piece-level
+//! BitTorrent swarms, the PSS, BarterCast, ModerationCast, and the
+//! BallotBox/VoxPopuli vote sampling — into one deterministic simulation,
+//! with moderators, voter assignments, pre-seeded experienced cores, and
+//! flash crowds configured per scenario.
+//!
+//! The [`experiments`] module reproduces the paper's evaluation:
+//!
+//! * [`experiments::experience`] — Figure 5 (CEV vs time for thresholds T)
+//!   and the §VI dataset statistics ("Table 1");
+//! * [`experiments::vote_sampling`] — Figure 6 (vote-sampling
+//!   effectiveness over time, typical runs + 10-run average);
+//! * [`experiments::spam`] — Figure 8 (flash-crowd pollution for crowd
+//!   sizes relative to the core);
+//! * [`experiments::ablations`] — adaptive-T, `B_min`/`B_max` sweeps,
+//!   vote-list policies, epidemic-aggregation baseline, mole attack, and
+//!   VoxPopuli on/off.
+
+pub mod config;
+pub mod experiments;
+pub mod system;
+
+pub use config::{
+    CrowdSpec, ModeratorSpec, PreseededCore, ProtocolConfig, ScenarioSetup, VoterSpec,
+};
+pub use experiments::experience::{run_experience_formation, ExperienceConfig};
+pub use experiments::spam::{run_spam_attack, SpamAttackConfig};
+pub use experiments::vote_sampling::{
+    run_vote_sampling, VoteSamplingConfig, VoteSamplingOutcome,
+};
+pub use system::System;

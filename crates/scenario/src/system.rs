@@ -1,0 +1,500 @@
+//! The assembled system: every substrate wired together and driven by a
+//! trace.
+
+use crate::config::{ProtocolConfig, ScenarioSetup};
+use rvs_attacks::FlashCrowd;
+use rvs_bartercast::{AdaptiveThreshold, BarterCast};
+use rvs_bittorrent::BitTorrentNet;
+use rvs_core::{VoteEntry, VoteSampling};
+use rvs_metrics::{collective_experience_value, correct_ordering_fraction, pollution_fraction};
+use rvs_modcast::{KeyRegistry, LocalVote, ModerationCast};
+use rvs_pss::{NewscastConfig, NewscastPss, OraclePss, PeerSampler};
+use rvs_sim::{DetRng, ModeratorId, NodeId, SimTime};
+use rvs_trace::{Trace, TraceEventKind};
+use std::collections::BTreeSet;
+
+/// The peer sampling service in use.
+enum Pss {
+    Oracle(OraclePss),
+    Newscast(NewscastPss),
+}
+
+impl Pss {
+    fn set_online(&mut self, peer: NodeId, introducer: Option<NodeId>, now: SimTime) {
+        match self {
+            Pss::Oracle(o) => o.set_online(peer),
+            Pss::Newscast(n) => n.set_online(peer, introducer, now),
+        }
+    }
+    fn set_offline(&mut self, peer: NodeId) {
+        match self {
+            Pss::Oracle(o) => o.set_offline(peer),
+            Pss::Newscast(n) => n.set_offline(peer),
+        }
+    }
+    fn sample(&mut self, requester: NodeId, rng: &mut DetRng) -> Option<NodeId> {
+        match self {
+            Pss::Oracle(o) => o.sample(requester, rng),
+            Pss::Newscast(n) => n.sample(requester, rng),
+        }
+    }
+    fn gossip_round(&mut self, now: SimTime, rng: &mut DetRng) {
+        if let Pss::Newscast(n) = self {
+            n.gossip_round(now, rng);
+        }
+    }
+}
+
+/// The fully wired simulation.
+pub struct System {
+    cfg: ProtocolConfig,
+    setup: ScenarioSetup,
+    trace: Trace,
+    n_trace: usize,
+    n_total: usize,
+
+    net: BitTorrentNet,
+    pss: Pss,
+    bc: BarterCast,
+    mc: ModerationCast,
+    registry: KeyRegistry,
+    vs: VoteSampling,
+
+    crowd: Option<FlashCrowd>,
+    crowd_activated: bool,
+    crowd_online: Vec<bool>,
+    core_members: BTreeSet<NodeId>,
+    adaptive: Option<Vec<AdaptiveThreshold>>,
+
+    published: Vec<bool>,
+    vote_cast: Vec<bool>,
+
+    now: SimTime,
+    next_event: usize,
+    next_gossip: SimTime,
+    rng_bt: DetRng,
+    rng_gossip: DetRng,
+    rng_pss: DetRng,
+}
+
+impl System {
+    /// Assemble a system for `trace` with the given scenario cast.
+    pub fn new(trace: Trace, cfg: ProtocolConfig, setup: ScenarioSetup, seed: u64) -> System {
+        let n_trace = trace.peer_count();
+        let crowd_size = setup.crowd.map(|c| c.size).unwrap_or(0);
+        let n_total = n_trace + crowd_size;
+        let root = DetRng::new(seed);
+
+        let net = BitTorrentNet::new(&trace, cfg.net);
+        let pss = if cfg.use_newscast_pss {
+            Pss::Newscast(NewscastPss::new(n_total, NewscastConfig::default()))
+        } else {
+            Pss::Oracle(OraclePss::new(n_total))
+        };
+        let bc = BarterCast::new(n_total, cfg.bartercast);
+        let mut mc = ModerationCast::new(n_total, cfg.modcast);
+        let registry = KeyRegistry::new(n_total, seed ^ 0x5EED);
+        let mut vs = VoteSampling::new(n_total, cfg.votes);
+
+        // The flash crowd occupies ids n_trace..n_total; its first member
+        // doubles as the spam moderator M0.
+        let crowd = setup.crowd.map(|spec| {
+            assert!(spec.size > 0, "crowd must have at least one member");
+            let members: Vec<NodeId> = (n_trace..n_total).map(NodeId::from_index).collect();
+            FlashCrowd::new(members, NodeId::from_index(n_trace), spec.demote, spec.join_at)
+        });
+
+        // Pre-seeded experienced core: converged on its top moderator.
+        let mut core_members = BTreeSet::new();
+        if let Some(core) = &setup.core {
+            core_members.extend(core.members.iter().copied());
+            let t0 = SimTime::ZERO;
+            for &i in &core.members {
+                mc.set_opinion(i, core.top_moderator, LocalVote::Approve, t0);
+            }
+            let entry = VoteEntry {
+                moderator: core.top_moderator,
+                vote: rvs_core::Vote::Positive,
+                made_at: t0,
+            };
+            for &i in &core.members {
+                for &j in &core.members {
+                    if i != j {
+                        vs.ballot_mut(i).merge(j, &[entry], t0);
+                    }
+                }
+            }
+        }
+
+        let adaptive = cfg.adaptive_t.map(|a| vec![a; n_total]);
+        let n_moderators = setup.moderators.len();
+        let n_voters = setup.voters.len();
+
+        System {
+            cfg,
+            setup,
+            trace,
+            n_trace,
+            n_total,
+            net,
+            pss,
+            bc,
+            mc,
+            registry,
+            vs,
+            crowd,
+            crowd_activated: false,
+            crowd_online: vec![false; crowd_size],
+            core_members,
+            adaptive,
+            published: vec![false; n_moderators],
+            vote_cast: vec![false; n_voters],
+            now: SimTime::ZERO,
+            next_event: 0,
+            next_gossip: SimTime::ZERO,
+            rng_bt: root.fork(1),
+            rng_gossip: root.fork(2),
+            rng_pss: root.fork(3),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of peers in the underlying trace.
+    pub fn trace_peer_count(&self) -> usize {
+        self.n_trace
+    }
+
+    /// Total nodes including any flash crowd.
+    pub fn total_nodes(&self) -> usize {
+        self.n_total
+    }
+
+    /// The trace driving the run.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The BitTorrent substrate.
+    pub fn net(&self) -> &BitTorrentNet {
+        &self.net
+    }
+
+    /// The BarterCast state.
+    pub fn bartercast(&self) -> &BarterCast {
+        &self.bc
+    }
+
+    /// The ModerationCast state.
+    pub fn modcast(&self) -> &ModerationCast {
+        &self.mc
+    }
+
+    /// The vote-sampling state.
+    pub fn votes(&self) -> &VoteSampling {
+        &self.vs
+    }
+
+    /// The flash crowd, if any.
+    pub fn crowd(&self) -> Option<&FlashCrowd> {
+        self.crowd.as_ref()
+    }
+
+    /// Is `node` online right now (trace churn for trace peers, duty cycle
+    /// for crowd identities)?
+    pub fn is_online(&self, node: NodeId) -> bool {
+        if node.index() < self.n_trace {
+            self.net.is_online(node)
+        } else {
+            self.crowd_online
+                .get(node.index() - self.n_trace)
+                .copied()
+                .unwrap_or(false)
+        }
+    }
+
+    fn is_crowd(&self, node: NodeId) -> bool {
+        self.crowd
+            .as_ref()
+            .map(|c| c.is_member(node))
+            .unwrap_or(false)
+    }
+
+    /// The experience predicate `E_i(j)` as node `i` evaluates it —
+    /// always computed from `i`'s own BarterCast graph, even for the
+    /// pre-seeded core: a *new* node has downloaded nothing yet, so nobody
+    /// (core included) is experienced towards it until it participates in
+    /// swarms. That asymmetry is what opens the Figure 8 bootstrap window.
+    pub fn experienced(&self, i: NodeId, j: NodeId) -> bool {
+        let t = match &self.adaptive {
+            Some(per_node) => per_node[i.index()].t_mib,
+            None => self.cfg.experience_t_mib,
+        };
+        self.bc.contribution_mib(i, j) >= t
+    }
+
+    /// Contribution `f_{j→i}` in MiB for an explicit threshold sweep.
+    pub fn contribution_mib(&self, i: NodeId, j: NodeId) -> f64 {
+        self.bc.contribution_mib(i, j)
+    }
+
+    /// CEV over the trace population for threshold `t_mib` (Figure 5).
+    pub fn cev(&self, t_mib: f64) -> f64 {
+        collective_experience_value(self.n_trace, |i, j| self.bc.contribution_mib(i, j) >= t_mib)
+    }
+
+    /// The ranking node `i` would display to its user: the VoxPopuli merge
+    /// while bootstrapping, ballot statistics (unioned with moderators
+    /// known from its local database) afterwards.
+    pub fn display_ranking(&self, i: NodeId) -> Vec<ModeratorId> {
+        self.vs.ranking_with_known(i, &self.mc).ranked
+    }
+
+    /// Fraction of trace nodes whose displayed ranking orders `expected`
+    /// correctly (Figure 6).
+    pub fn ordering_accuracy(&self, expected: &[ModeratorId]) -> f64 {
+        let rankings: Vec<Vec<ModeratorId>> = (0..self.n_trace)
+            .map(|i| self.display_ranking(NodeId::from_index(i)))
+            .collect();
+        correct_ordering_fraction(rankings.iter().map(|r| r.as_slice()), expected)
+    }
+
+    /// Fraction of *newly arrived honest* nodes (trace peers outside the
+    /// pre-seeded core that have arrived by now) ranking `spam` top
+    /// (Figure 8).
+    pub fn new_node_pollution(&self, spam: ModeratorId) -> f64 {
+        let rankings: Vec<Vec<ModeratorId>> = (0..self.n_trace)
+            .map(NodeId::from_index)
+            .filter(|n| !self.core_members.contains(n))
+            .filter(|n| self.trace.peers[n.index()].arrival <= self.now)
+            .map(|n| self.display_ranking(n))
+            .collect();
+        pollution_fraction(rankings.iter().map(|r| r.as_slice()), spam)
+    }
+
+    /// Advance the simulation to `end`, invoking `observer` every
+    /// `sample_every` of simulated time (and once at the end).
+    pub fn run_until(
+        &mut self,
+        end: SimTime,
+        sample_every: rvs_sim::SimDuration,
+        mut observer: impl FnMut(&System, SimTime),
+    ) {
+        let mut next_sample = self.now;
+        while self.now < end {
+            self.step();
+            if self.now >= next_sample {
+                observer(self, self.now);
+                next_sample = self.now + sample_every;
+            }
+        }
+        observer(self, end);
+    }
+
+    /// One simulation tick: trace events, BitTorrent transfers, crowd
+    /// churn, and (when due) a protocol gossip round.
+    pub fn step(&mut self) {
+        // Trace events at or before the current tick.
+        while self.next_event < self.trace.events.len()
+            && self.trace.events[self.next_event].time <= self.now
+        {
+            let ev = self.trace.events[self.next_event];
+            self.next_event += 1;
+            self.net.apply_event(&ev, self.now);
+            match ev.kind {
+                TraceEventKind::Online => {
+                    let introducer = self.any_online_except(ev.peer);
+                    self.pss.set_online(ev.peer, introducer, self.now);
+                }
+                TraceEventKind::Offline => self.pss.set_offline(ev.peer),
+                TraceEventKind::StartDownload { .. } => {}
+            }
+        }
+        self.net.tick(self.now, &mut self.rng_bt);
+        self.update_crowd();
+        if self.now >= self.next_gossip {
+            self.gossip_round();
+            self.next_gossip = self.now + self.cfg.gossip_every;
+        }
+        self.now += self.cfg.net.tick;
+    }
+
+    fn any_online_except(&self, except: NodeId) -> Option<NodeId> {
+        (0..self.n_total)
+            .map(NodeId::from_index)
+            .find(|&n| n != except && self.is_online(n))
+    }
+
+    /// Crowd activation and duty-cycle churn.
+    fn update_crowd(&mut self) {
+        let Some(crowd) = &self.crowd else { return };
+        let spec = self.setup.crowd.expect("crowd spec exists");
+        if self.now < spec.join_at {
+            return;
+        }
+        if !self.crowd_activated {
+            self.crowd_activated = true;
+            // M0 publishes its spam moderation; every member approves it
+            // (so they all forward it) and optionally votes the honest top
+            // moderator down.
+            let m0 = crowd.spam_moderator();
+            self.mc.publish(
+                &self.registry,
+                m0,
+                spec.spam_swarm,
+                rvs_modcast::ContentQuality::Spam,
+                self.now,
+            );
+            let members: Vec<NodeId> = crowd.members().collect();
+            for &m in &members {
+                self.mc.set_opinion(m, m0, LocalVote::Approve, self.now);
+                if let Some(target) = spec.demote {
+                    self.mc.set_opinion(m, target, LocalVote::Disapprove, self.now);
+                }
+            }
+        }
+        // Deterministic staggered duty cycle.
+        let period = spec.churn_period.as_millis().max(1);
+        let since = (self.now - spec.join_at).as_millis();
+        for idx in 0..self.crowd_online.len() {
+            let offset = (idx as u64 * period) / self.crowd_online.len().max(1) as u64;
+            let phase = ((since + offset) % period) as f64 / period as f64;
+            let online = phase < spec.duty_cycle;
+            if online != self.crowd_online[idx] {
+                self.crowd_online[idx] = online;
+                let node = NodeId::from_index(self.n_trace + idx);
+                if online {
+                    let introducer = self.any_online_except(node);
+                    self.pss.set_online(node, introducer, self.now);
+                } else {
+                    self.pss.set_offline(node);
+                }
+            }
+        }
+    }
+
+    /// One protocol gossip round over every online node.
+    fn gossip_round(&mut self) {
+        self.pss.gossip_round(self.now, &mut self.rng_pss);
+        self.publish_due_moderations();
+        self.cast_due_votes();
+        for idx in 0..self.n_total {
+            let i = NodeId::from_index(idx);
+            if !self.is_online(i) {
+                continue;
+            }
+            let Some(j) = self.pss.sample(i, &mut self.rng_pss) else {
+                continue;
+            };
+            // Contacting an offline peer fails (stale PSS views).
+            if !self.is_online(j) || i == j {
+                continue;
+            }
+            // Failure injection: the whole encounter may be lost.
+            if self.cfg.message_loss > 0.0 && self.rng_gossip.chance(self.cfg.message_loss) {
+                continue;
+            }
+            self.encounter(i, j);
+        }
+        if self.adaptive.is_some() {
+            self.observe_dispersion();
+        }
+    }
+
+    fn publish_due_moderations(&mut self) {
+        for (k, spec) in self.setup.moderators.clone().into_iter().enumerate() {
+            if !self.published[k] && spec.publish_at <= self.now && self.is_online(spec.moderator)
+            {
+                self.mc.publish(
+                    &self.registry,
+                    spec.moderator,
+                    spec.swarm,
+                    spec.quality,
+                    self.now,
+                );
+                self.published[k] = true;
+            }
+        }
+    }
+
+    fn cast_due_votes(&mut self) {
+        for (k, spec) in self.setup.voters.clone().into_iter().enumerate() {
+            if self.vote_cast[k] {
+                continue;
+            }
+            // A voter casts only once it has received one of the
+            // moderator's items via dissemination.
+            if self.mc.db(spec.voter).has_items_from(spec.moderator) {
+                self.mc
+                    .set_opinion(spec.voter, spec.moderator, spec.vote, self.now);
+                self.vote_cast[k] = true;
+            }
+        }
+    }
+
+    /// A full protocol encounter between online nodes `i` (active) and `j`.
+    fn encounter(&mut self, i: NodeId, j: NodeId) {
+        // BarterCast: refresh own records, then swap them.
+        self.bc.sync_own_records(i, self.net.ledger());
+        self.bc.sync_own_records(j, self.net.ledger());
+        self.bc.exchange(i, j);
+
+        // ModerationCast push/pull.
+        self.mc
+            .exchange(&self.registry, i, j, self.now, &mut self.rng_gossip);
+
+        // Vote sampling: experience computed before any merge.
+        let e_i_accepts_j = self.experienced(i, j);
+        let e_j_accepts_i = self.experienced(j, i);
+        let list_i = self.outgoing_vote_list(i);
+        let list_j = self.outgoing_vote_list(j);
+        self.vs
+            .deliver_vote_list(j, i, &list_j, self.now, e_i_accepts_j);
+        self.vs
+            .deliver_vote_list(i, j, &list_i, self.now, e_j_accepts_i);
+
+        // VoxPopuli bootstrap: crowd members answer with fabricated lists;
+        // honest nodes follow Fig 3c.
+        if self.cfg.vox_enabled && !self.is_crowd(i) && self.vs.needs_bootstrap(i) {
+            let response = if self.is_crowd(j) {
+                let crowd = self.crowd.as_ref().expect("crowd member implies crowd");
+                Some(crowd.topk_response(&[], self.cfg.votes.k))
+            } else {
+                self.vs.topk_response(j)
+            };
+            if let Some(list) = response {
+                self.vs.deliver_topk(i, list);
+            }
+        }
+    }
+
+    fn outgoing_vote_list(&mut self, node: NodeId) -> Vec<VoteEntry> {
+        if self.is_crowd(node) {
+            self.crowd
+                .as_ref()
+                .expect("crowd member implies crowd")
+                .vote_list()
+        } else {
+            self.vs.vote_list_of(node, &self.mc, &mut self.rng_gossip)
+        }
+    }
+
+    fn observe_dispersion(&mut self) {
+        let adaptive = self.adaptive.as_mut().expect("caller checked");
+        for (idx, threshold) in adaptive.iter_mut().take(self.n_trace).enumerate() {
+            let node = NodeId::from_index(idx);
+            if self.net.is_online(node) {
+                let d = self.vs.ballot(node).dispersion();
+                threshold.observe_dispersion(d);
+            }
+        }
+    }
+
+    /// Current adaptive thresholds (ablation A1), if enabled.
+    pub fn adaptive_thresholds(&self) -> Option<&[AdaptiveThreshold]> {
+        self.adaptive.as_deref()
+    }
+}

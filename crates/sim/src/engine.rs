@@ -1,0 +1,232 @@
+//! The simulation engine: clock + event queue + driver loops.
+//!
+//! The engine is deliberately passive — it owns the clock and the queue but
+//! not the simulated world. Handlers receive `&mut Engine` so they can
+//! schedule follow-up events while the caller retains ownership of world
+//! state, avoiding any `RefCell`/aliasing gymnastics:
+//!
+//! ```
+//! use rvs_sim::{Engine, SimDuration, SimTime};
+//!
+//! #[derive(Debug)]
+//! enum Ev { Tick }
+//!
+//! let mut engine = Engine::new();
+//! engine.schedule_at(SimTime::ZERO, Ev::Tick);
+//! let mut ticks = 0u32;
+//! engine.run_until(SimTime::from_secs(10), |eng, _t, Ev::Tick| {
+//!     ticks += 1;
+//!     eng.schedule_in(SimDuration::from_secs(1), Ev::Tick);
+//! });
+//! assert_eq!(ticks, 10); // fires at 0s..9s; the 10s event is past the horizon
+//! ```
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// A discrete-event simulation engine over an application event type `E`.
+#[derive(Debug, Clone)]
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// A fresh engine with the clock at zero.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            processed: 0,
+        }
+    }
+
+    /// The current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events fired so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `event` at absolute time `t`.
+    ///
+    /// # Panics
+    /// Panics when `t` is in the past — scheduling backwards would silently
+    /// corrupt causality.
+    pub fn schedule_at(&mut self, t: SimTime, event: E) {
+        assert!(
+            t >= self.now,
+            "cannot schedule event at {t} before current time {}",
+            self.now
+        );
+        self.queue.push(t, event);
+    }
+
+    /// Schedule `event` after a delay relative to the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        let t = self.now.saturating_add(delay);
+        self.queue.push(t, event);
+    }
+
+    /// Pop the next event if it fires strictly before `horizon`, advancing
+    /// the clock to its timestamp. Returns `None` when the queue is empty or
+    /// the next event lies at/after the horizon (the clock then advances to
+    /// the horizon).
+    pub fn next_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match self.queue.peek_time() {
+            Some(t) if t < horizon => {
+                let (t, e) = self.queue.pop().expect("peeked event must pop");
+                self.now = t;
+                self.processed += 1;
+                Some((t, e))
+            }
+            _ => {
+                if horizon > self.now && horizon != SimTime::MAX {
+                    self.now = horizon;
+                }
+                None
+            }
+        }
+    }
+
+    /// Run the event loop until `horizon` (exclusive), calling `handler` for
+    /// every fired event. The handler may schedule further events.
+    pub fn run_until<F>(&mut self, horizon: SimTime, mut handler: F)
+    where
+        F: FnMut(&mut Engine<E>, SimTime, E),
+    {
+        while let Some((t, e)) = self.next_before(horizon) {
+            handler(self, t, e);
+        }
+    }
+
+    /// Run until the queue drains completely.
+    pub fn run_to_completion<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut Engine<E>, SimTime, E),
+    {
+        while let Some((t, e)) = self.next_before(SimTime::MAX) {
+            handler(self, t, e);
+        }
+    }
+
+    /// Discard all pending events (e.g. when tearing a run down early).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Ping(u32),
+        Stop,
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule_at(SimTime::from_secs(5), Ev::Ping(1));
+        eng.schedule_at(SimTime::from_secs(2), Ev::Ping(0));
+        let (t, e) = eng.next_before(SimTime::MAX).unwrap();
+        assert_eq!(t, SimTime::from_secs(2));
+        assert_eq!(e, Ev::Ping(0));
+        assert_eq!(eng.now(), SimTime::from_secs(2));
+        let (t, _) = eng.next_before(SimTime::MAX).unwrap();
+        assert_eq!(t, SimTime::from_secs(5));
+        assert_eq!(eng.processed(), 2);
+    }
+
+    #[test]
+    fn horizon_is_exclusive_and_advances_clock() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule_at(SimTime::from_secs(10), Ev::Stop);
+        assert!(eng.next_before(SimTime::from_secs(10)).is_none());
+        assert_eq!(eng.now(), SimTime::from_secs(10));
+        // The event is still pending and fires once the horizon moves on.
+        assert!(eng.next_before(SimTime::from_secs(11)).is_some());
+    }
+
+    #[test]
+    fn handler_can_reschedule() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule_at(SimTime::ZERO, Ev::Ping(0));
+        let mut count = 0;
+        eng.run_until(SimTime::from_secs(100), |eng, _t, e| {
+            if let Ev::Ping(n) = e {
+                count += 1;
+                if n < 4 {
+                    eng.schedule_in(SimDuration::from_secs(10), Ev::Ping(n + 1));
+                }
+            }
+        });
+        assert_eq!(count, 5);
+        assert_eq!(eng.pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule_at(SimTime::from_secs(5), Ev::Stop);
+        eng.next_before(SimTime::MAX);
+        eng.schedule_at(SimTime::from_secs(1), Ev::Stop);
+    }
+
+    #[test]
+    fn run_to_completion_drains() {
+        let mut eng: Engine<Ev> = Engine::new();
+        for i in 0..10 {
+            eng.schedule_at(SimTime::from_secs(i), Ev::Ping(i as u32));
+        }
+        let mut seen = Vec::new();
+        eng.run_to_completion(|_, _, e| {
+            if let Ev::Ping(n) = e {
+                seen.push(n)
+            }
+        });
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert!(eng.pending() == 0);
+    }
+
+    #[test]
+    fn clear_discards_pending() {
+        let mut eng: Engine<Ev> = Engine::new();
+        eng.schedule_at(SimTime::from_secs(1), Ev::Stop);
+        eng.clear();
+        assert!(eng.next_before(SimTime::MAX).is_none());
+    }
+
+    #[test]
+    fn doc_example_tick_count() {
+        let mut engine: Engine<()> = Engine::new();
+        engine.schedule_at(SimTime::ZERO, ());
+        let mut ticks = 0u32;
+        engine.run_until(SimTime::from_secs(10), |eng, _t, ()| {
+            ticks += 1;
+            eng.schedule_in(SimDuration::from_secs(1), ());
+        });
+        assert_eq!(ticks, 10);
+    }
+}

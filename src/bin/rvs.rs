@@ -1,0 +1,188 @@
+//! `rvs` — command-line front end for the robust-vote-sampling library.
+//!
+//! ```text
+//! rvs trace --seed 42 --peers 100 --hours 168 [--out trace.json]
+//! rvs stats --traces 10 --seed 1
+//! rvs run   --seed 7 --peers 40 --hours 48 [--t-mib 5] [--loss 0.1]
+//! rvs attack --seed 7 --core 10 --crowd 20 --hours 48
+//! ```
+//!
+//! Every command is deterministic in its `--seed`. This is the quickest
+//! way to poke at the system without writing code; the experiment
+//! binaries in `rvs-bench` regenerate the paper's figures.
+
+use robust_vote_sampling::core::ModeratorBoard;
+use robust_vote_sampling::metrics::TimeSeries;
+use robust_vote_sampling::scenario::experiments::experience::dataset_statistics;
+use robust_vote_sampling::scenario::experiments::spam::fig8_setup;
+use robust_vote_sampling::scenario::experiments::vote_sampling::fig6_setup;
+use robust_vote_sampling::scenario::{ProtocolConfig, System};
+use robust_vote_sampling::sim::{NodeId, SimDuration, SimTime};
+use robust_vote_sampling::trace::{io, TraceGenConfig, TraceStats};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "trace" => cmd_trace(&flags),
+        "stats" => cmd_stats(&flags),
+        "run" => cmd_run(&flags),
+        "attack" => cmd_attack(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+rvs — robust vote sampling playground
+
+USAGE:
+    rvs trace  [--seed N] [--peers N] [--hours N] [--out FILE]
+        generate a filelist-calibrated churn trace (JSON when --out given)
+    rvs stats  [--seed N] [--traces N]
+        dataset statistics over N traces (the paper's §VI summary)
+    rvs run    [--seed N] [--peers N] [--hours N] [--t-mib X] [--loss X]
+        full-stack Figure 6 scenario; prints the accuracy curve and the
+        best-informed node's moderator board
+    rvs attack [--seed N] [--peers N] [--core N] [--crowd N] [--hours N]
+        Figure 8 flash-crowd scenario; prints the pollution curve";
+
+fn parse_flags(rest: &[String]) -> BTreeMap<String, String> {
+    let mut flags = BTreeMap::new();
+    let mut it = rest.iter();
+    while let Some(k) = it.next() {
+        if let Some(name) = k.strip_prefix("--") {
+            if let Some(v) = it.next() {
+                flags.insert(name.to_string(), v.clone());
+            }
+        }
+    }
+    flags
+}
+
+fn get<T: std::str::FromStr>(flags: &BTreeMap<String, String>, key: &str, default: T) -> T {
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn trace_cfg(flags: &BTreeMap<String, String>) -> TraceGenConfig {
+    let peers: usize = get(flags, "peers", 100);
+    let hours: u64 = get(flags, "hours", 168);
+    if peers == 100 && hours == 168 {
+        TraceGenConfig::filelist_like()
+    } else {
+        TraceGenConfig {
+            n_peers: peers,
+            duration: SimDuration::from_hours(hours),
+            founder_count: (peers / 5).max(1),
+            ..TraceGenConfig::filelist_like()
+        }
+    }
+}
+
+fn cmd_trace(flags: &BTreeMap<String, String>) -> ExitCode {
+    let seed: u64 = get(flags, "seed", 42);
+    let cfg = trace_cfg(flags);
+    let trace = cfg.generate(seed);
+    println!("{}", TraceStats::compute(&trace));
+    if let Some(path) = flags.get("out") {
+        match io::save(&trace, std::path::Path::new(path)) {
+            Ok(()) => println!("\nwritten to {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_stats(flags: &BTreeMap<String, String>) -> ExitCode {
+    let seed: u64 = get(flags, "seed", 1);
+    let traces: usize = get(flags, "traces", 10);
+    let cfg = trace_cfg(flags);
+    let (_, mean) = dataset_statistics(&cfg, traces, seed);
+    println!("mean over {traces} traces:\n{mean}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
+    let seed: u64 = get(flags, "seed", 7);
+    let mut flags = flags.clone();
+    flags.entry("peers".into()).or_insert_with(|| "40".into());
+    flags.entry("hours".into()).or_insert_with(|| "48".into());
+    let hours: u64 = get(&flags, "hours", 48);
+    let cfg = trace_cfg(&flags);
+    let trace = cfg.generate(seed);
+    let (setup, m) = fig6_setup(&trace, 0.15, 0.15, seed);
+    let protocol = ProtocolConfig {
+        experience_t_mib: get(&flags, "t-mib", 5.0),
+        message_loss: get(&flags, "loss", 0.0),
+        ..ProtocolConfig::default()
+    };
+    let mut system = System::new(trace, protocol, setup, seed);
+    let mut series = TimeSeries::new("accuracy");
+    system.run_until(
+        SimTime::from_hours(hours),
+        SimDuration::from_hours((hours / 12).max(1)),
+        |sys, now| series.push(now, sys.ordering_accuracy(&m)),
+    );
+    println!("fraction of nodes ranking M1 > M2 > M3:");
+    print!("{}", TimeSeries::render_table(&[&series]));
+    let observer = (0..system.trace_peer_count())
+        .map(NodeId::from_index)
+        .max_by_key(|&n| system.votes().ballot(n).unique_voters())
+        .expect("non-empty population");
+    println!("\nmoderator board at {observer}:");
+    println!(
+        "{}",
+        ModeratorBoard::from_ballot(system.votes().ballot(observer), 5)
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_attack(flags: &BTreeMap<String, String>) -> ExitCode {
+    let seed: u64 = get(flags, "seed", 7);
+    let mut flags = flags.clone();
+    flags.entry("peers".into()).or_insert_with(|| "40".into());
+    flags.entry("hours".into()).or_insert_with(|| "48".into());
+    let hours: u64 = get(&flags, "hours", 48);
+    let core: usize = get(&flags, "core", 10);
+    let crowd: usize = get(&flags, "crowd", 20);
+    let cfg = trace_cfg(&flags);
+    let trace = cfg.generate(seed);
+    if trace.peer_count() <= core {
+        eprintln!("--core must be smaller than --peers");
+        return ExitCode::FAILURE;
+    }
+    let setup = fig8_setup(&trace, core, crowd);
+    let spam = NodeId::from_index(trace.peer_count());
+    let protocol = ProtocolConfig {
+        experience_t_mib: get(&flags, "t-mib", 5.0),
+        ..ProtocolConfig::default()
+    };
+    let mut system = System::new(trace, protocol, setup, seed);
+    let mut series = TimeSeries::new(format!("crowd={crowd}/core={core}"));
+    system.run_until(
+        SimTime::from_hours(hours),
+        SimDuration::from_hours((hours / 12).max(1)),
+        |sys, now| series.push(now, sys.new_node_pollution(spam)),
+    );
+    println!("proportion of newly arrived honest nodes ranking spam top:");
+    print!("{}", TimeSeries::render_table(&[&series]));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! # robust-vote-sampling
+//!
+//! A production-quality Rust reproduction of *"Robust vote sampling in a P2P
+//! media distribution system"* (Rahman, Hales, Meulpolder, Heinink, Pouwelse,
+//! Sips — TU Delft, IPDPS 2009): fully decentralized metadata dissemination
+//! (**ModerationCast**), collusion-resistant vote sampling (**BallotBox**),
+//! fast bootstrap ranking (**VoxPopuli**), and a BarterCast-maxflow
+//! **experience function**, evaluated on a piece-level BitTorrent simulator
+//! driven by churn-calibrated peer traces.
+//!
+//! This facade crate re-exports the workspace's public API. Start with
+//! [`scenario`] for ready-made experiment harnesses, or assemble a system
+//! yourself from the protocol crates:
+//!
+//! * [`sim`] — deterministic discrete-event engine, time, RNG.
+//! * [`trace`] — peer churn traces (synthetic, filelist.org-calibrated).
+//! * [`bittorrent`] — piece-level swarm simulation and transfer accounting.
+//! * [`pss`] — peer sampling service (oracle + Newscast gossip).
+//! * [`bartercast`] — contribution graphs, bounded maxflow, experience.
+//! * [`modcast`] — signed moderations and approval-gated dissemination.
+//! * [`core`] — BallotBox / VoxPopuli vote sampling and ranking.
+//! * [`attacks`] — flash crowds, Sybils, moles, lying aggregation.
+//! * [`metrics`] — CEV, ordering accuracy, pollution, series statistics.
+//! * [`scenario`] — full-system wiring reproducing the paper's figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use robust_vote_sampling::scenario::{VoteSamplingConfig, run_vote_sampling};
+//!
+//! // A scaled-down Figure-6 style run: three moderators, honest voters,
+//! // measure how fast the population converges on M1 > M2 > M3.
+//! let cfg = VoteSamplingConfig::quick_demo(42);
+//! let outcome = run_vote_sampling(&cfg);
+//! let final_accuracy = outcome.accuracy.last().expect("series non-empty");
+//! assert!(final_accuracy.value > 0.5, "most nodes should converge");
+//! ```
+
+pub use rvs_attacks as attacks;
+pub use rvs_bartercast as bartercast;
+pub use rvs_bittorrent as bittorrent;
+pub use rvs_core as core;
+pub use rvs_metrics as metrics;
+pub use rvs_modcast as modcast;
+pub use rvs_pss as pss;
+pub use rvs_scenario as scenario;
+pub use rvs_sim as sim;
+pub use rvs_trace as trace;
+
+/// Workspace version string.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,105 @@
+//! Integration tests of the security claims: who a flash crowd can and
+//! cannot poison, and how the system recovers.
+
+use robust_vote_sampling::scenario::experiments::spam::fig8_setup;
+use robust_vote_sampling::scenario::{ProtocolConfig, System};
+use rvs_sim::{NodeId, SimDuration, SimTime};
+use rvs_trace::TraceGenConfig;
+
+fn attack_system(crowd_size: usize, seed: u64) -> (System, NodeId, Vec<NodeId>) {
+    let trace = TraceGenConfig::quick(30, SimDuration::from_hours(24)).generate(seed);
+    let setup = fig8_setup(&trace, 8, crowd_size);
+    let core = setup.core.as_ref().unwrap().members.clone();
+    let spam = NodeId::from_index(trace.peer_count());
+    let protocol = ProtocolConfig {
+        experience_t_mib: 1.0,
+        ..ProtocolConfig::default()
+    };
+    (System::new(trace, protocol, setup, seed), spam, core)
+}
+
+#[test]
+fn experienced_core_is_never_polluted() {
+    let (mut system, spam, core) = attack_system(16, 23);
+    let mut core_clean = true;
+    system.run_until(SimTime::from_hours(24), SimDuration::from_hours(2), |sys, _| {
+        for &c in &core {
+            if sys.display_ranking(c).first() == Some(&spam) {
+                core_clean = false;
+            }
+        }
+    });
+    assert!(core_clean, "the flash crowd must never poison the core");
+}
+
+#[test]
+fn crowd_votes_never_enter_honest_ballots() {
+    let (mut system, _, _) = attack_system(16, 29);
+    system.run_until(SimTime::from_hours(24), SimDuration::from_hours(24), |_, _| {});
+    let crowd: Vec<NodeId> = system.crowd().unwrap().members().collect();
+    for i in 0..system.trace_peer_count() {
+        let ballot = system.votes().ballot(NodeId::from_index(i));
+        for (voter, _, _, _) in ballot.iter() {
+            assert!(
+                !crowd.contains(&voter),
+                "crowd voter {voter} reached an honest ballot — zero-contribution \
+                 identities must fail the experience function"
+            );
+        }
+    }
+}
+
+#[test]
+fn crowd_members_are_never_experienced() {
+    let (mut system, _, _) = attack_system(12, 31);
+    system.run_until(SimTime::from_hours(24), SimDuration::from_hours(24), |_, _| {});
+    let crowd: Vec<NodeId> = system.crowd().unwrap().members().collect();
+    for i in 0..system.trace_peer_count() {
+        for &c in &crowd {
+            assert!(
+                !system.experienced(NodeId::from_index(i), c),
+                "crowd identity {c} appears experienced to node {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pollution_eventually_recovers() {
+    let (mut system, spam, _) = attack_system(16, 37);
+    let mut series = Vec::new();
+    system.run_until(SimTime::from_hours(24), SimDuration::from_hours(2), |sys, t| {
+        series.push((t, sys.new_node_pollution(spam)));
+    });
+    let peak = series.iter().map(|&(_, v)| v).fold(0.0_f64, f64::max);
+    let final_v = series.last().unwrap().1;
+    assert!(
+        final_v <= peak,
+        "pollution should not keep growing: peak {peak}, final {final_v}"
+    );
+    assert!(
+        final_v < 0.5,
+        "most nodes should have recovered by 24h, final pollution {final_v}"
+    );
+}
+
+#[test]
+fn disabling_voxpopuli_blocks_the_attack_entirely() {
+    let trace = TraceGenConfig::quick(30, SimDuration::from_hours(24)).generate(41);
+    let setup = fig8_setup(&trace, 8, 16);
+    let spam = NodeId::from_index(trace.peer_count());
+    let protocol = ProtocolConfig {
+        experience_t_mib: 1.0,
+        vox_enabled: false,
+        ..ProtocolConfig::default()
+    };
+    let mut system = System::new(trace, protocol, setup, 41);
+    let mut max_pollution = 0.0_f64;
+    system.run_until(SimTime::from_hours(24), SimDuration::from_hours(2), |sys, _| {
+        max_pollution = max_pollution.max(sys.new_node_pollution(spam));
+    });
+    assert_eq!(
+        max_pollution, 0.0,
+        "without VoxPopuli the crowd has no channel into honest nodes"
+    );
+}

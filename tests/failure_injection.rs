@@ -1,0 +1,67 @@
+//! Failure injection: the protocols must degrade gracefully, not break,
+//! under lost encounters and gossip-PSS staleness.
+
+use robust_vote_sampling::scenario::experiments::vote_sampling::fig6_setup;
+use robust_vote_sampling::scenario::{ProtocolConfig, System};
+use rvs_sim::{SimDuration, SimTime};
+use rvs_trace::TraceGenConfig;
+
+fn accuracy_with_loss(loss: f64, seed: u64) -> f64 {
+    let trace = TraceGenConfig::quick(24, SimDuration::from_hours(36)).generate(seed);
+    let (setup, m) = fig6_setup(&trace, 0.25, 0.25, seed);
+    let protocol = ProtocolConfig {
+        experience_t_mib: 1.0,
+        message_loss: loss,
+        ..ProtocolConfig::default()
+    };
+    let mut system = System::new(trace, protocol, setup, seed);
+    system.run_until(SimTime::from_hours(36), SimDuration::from_hours(36), |_, _| {});
+    system.ordering_accuracy(&m)
+}
+
+#[test]
+fn converges_despite_20_percent_message_loss() {
+    let acc = accuracy_with_loss(0.2, 51);
+    assert!(
+        acc > 0.5,
+        "gossip protocols must tolerate moderate loss, accuracy {acc}"
+    );
+}
+
+#[test]
+fn heavy_loss_slows_but_does_not_corrupt() {
+    // At 70% loss the system is slower but must never rank incorrectly
+    // *more* than it ranks correctly late in the run, and never crash.
+    let acc = accuracy_with_loss(0.7, 53);
+    assert!((0.0..=1.0).contains(&acc));
+    // And the same run without loss should do at least as well.
+    let clean = accuracy_with_loss(0.0, 53);
+    assert!(
+        clean >= acc - 0.15,
+        "loss should not *help*: clean {clean} vs lossy {acc}"
+    );
+}
+
+#[test]
+fn total_loss_means_no_ballots_at_all() {
+    let trace = TraceGenConfig::quick(16, SimDuration::from_hours(12)).generate(57);
+    let (setup, _) = fig6_setup(&trace, 0.3, 0.3, 57);
+    let protocol = ProtocolConfig {
+        experience_t_mib: 0.0,
+        message_loss: 1.0,
+        ..ProtocolConfig::default()
+    };
+    let mut system = System::new(trace, protocol, setup, 57);
+    system.run_until(SimTime::from_hours(12), SimDuration::from_hours(12), |_, _| {});
+    for i in 0..system.trace_peer_count() {
+        assert!(system
+            .votes()
+            .ballot(rvs_sim::NodeId::from_index(i))
+            .is_empty());
+    }
+}
+
+#[test]
+fn loss_injection_is_deterministic() {
+    assert_eq!(accuracy_with_loss(0.3, 59), accuracy_with_loss(0.3, 59));
+}
