@@ -1,0 +1,193 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock timing harness with the benchmark-group API surface
+//! the workspace's benches use. No statistics engine — each benchmark is
+//! warmed up briefly, then timed over a fixed number of samples and the
+//! median per-iteration time is printed. Good enough for relative
+//! comparisons on one machine, which is all the benches are for.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver. `criterion_group!` constructs one and passes
+/// it to each registered bench function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.sample_size;
+        run_benchmark(name, sample_size, f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let id = name.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, &mut f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group, e.g. `merge/1024`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the supplied routine.
+pub struct Bencher {
+    /// Iterations to run inside one sample.
+    iters: u64,
+    /// Total elapsed time across those iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    // Warm-up & calibration: find an iteration count that takes ~5ms/sample.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let lo = per_iter[0];
+    let hi = per_iter[per_iter.len() - 1];
+    println!(
+        "bench {label:<40} median {} (min {}, max {}, {iters} iters x {sample_size} samples)",
+        fmt_time(median),
+        fmt_time(lo),
+        fmt_time(hi)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1}ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2}us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{secs:.3}s")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -46,18 +46,17 @@ impl VoteHistories {
     /// mean product of votes (`+1` full agreement, `−1` full disagreement).
     /// `None` when fewer than `min_overlap` objects were co-voted —
     /// Credence cannot relate the peers at all.
-    pub fn correlation(
-        &self,
-        a: NodeId,
-        b: NodeId,
-        min_overlap: usize,
-    ) -> Option<f64> {
+    pub fn correlation(&self, a: NodeId, b: NodeId, min_overlap: usize) -> Option<f64> {
         let va = self.votes.get(&a)?;
         let vb = self.votes.get(&b)?;
         let mut products = 0i64;
         let mut overlap = 0usize;
         // Iterate the smaller map for efficiency.
-        let (small, large) = if va.len() <= vb.len() { (va, vb) } else { (vb, va) };
+        let (small, large) = if va.len() <= vb.len() {
+            (va, vb)
+        } else {
+            (vb, va)
+        };
         for (obj, &v1) in small {
             if let Some(&v2) = large.get(obj) {
                 products += (v1 as i64) * (v2 as i64);
@@ -82,12 +81,7 @@ impl VoteHistories {
 
     /// Classify `judge`'s view of `subject` from correlation: positive ⇒
     /// trusted, negative ⇒ distrusted, `None` ⇒ cannot tell.
-    pub fn classify(
-        &self,
-        judge: NodeId,
-        subject: NodeId,
-        min_overlap: usize,
-    ) -> Option<bool> {
+    pub fn classify(&self, judge: NodeId, subject: NodeId, min_overlap: usize) -> Option<bool> {
         self.correlation(judge, subject, min_overlap)
             .map(|c| c > 0.0)
     }

@@ -36,8 +36,7 @@ impl MoleAttack {
         colluders: impl IntoIterator<Item = NodeId>,
         claimed_kib: u64,
     ) -> Self {
-        let colluders: BTreeSet<NodeId> =
-            colluders.into_iter().filter(|&c| c != mole).collect();
+        let colluders: BTreeSet<NodeId> = colluders.into_iter().filter(|&c| c != mole).collect();
         assert!(!colluders.is_empty(), "mole attack needs colluders");
         MoleAttack {
             mole,
@@ -136,7 +135,10 @@ mod tests {
         // and the sum is bounded by colluders × 8 MiB (independent
         // queries).
         let per = attack.max_colluder_contribution_kib(&bc, NodeId(0));
-        assert!(per <= 8 * 1024, "per-colluder leverage {per} KiB exceeds mole's edge");
+        assert!(
+            per <= 8 * 1024,
+            "per-colluder leverage {per} KiB exceeds mole's edge"
+        );
         assert!(per > 0, "some leverage flows through the mole");
         let total = attack.apparent_contribution_kib(&bc, NodeId(0));
         assert!(total <= 2 * 8 * 1024);

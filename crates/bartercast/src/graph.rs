@@ -46,13 +46,7 @@ impl SubjectiveGraph {
     ///
     /// Cumulative counters only grow, so a report smaller than the stored
     /// one is ignored (stale gossip).
-    pub fn insert_report(
-        &mut self,
-        reporter: NodeId,
-        from: NodeId,
-        to: NodeId,
-        kib: u64,
-    ) -> bool {
+    pub fn insert_report(&mut self, reporter: NodeId, from: NodeId, to: NodeId, kib: u64) -> bool {
         if reporter != from && reporter != to {
             return false;
         }
@@ -70,10 +64,7 @@ impl SubjectiveGraph {
 
     /// Effective weight of edge `(from → to)` in KiB.
     pub fn edge_kib(&self, from: NodeId, to: NodeId) -> u64 {
-        self.edges
-            .get(&(from, to))
-            .map(|e| e.weight())
-            .unwrap_or(0)
+        self.edges.get(&(from, to)).map(|e| e.weight()).unwrap_or(0)
     }
 
     /// All edges with nonzero weight, deterministic order.
@@ -162,10 +153,7 @@ mod tests {
         g.insert_report(NodeId(5), NodeId(5), NodeId(2), 20);
         g.insert_report(NodeId(5), NodeId(5), NodeId(7), 30);
         let out = g.out_edges(NodeId(5));
-        assert_eq!(
-            out,
-            vec![(NodeId(2), 20), (NodeId(7), 30), (NodeId(9), 10)]
-        );
+        assert_eq!(out, vec![(NodeId(2), 20), (NodeId(7), 30), (NodeId(9), 10)]);
     }
 
     #[test]

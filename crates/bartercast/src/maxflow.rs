@@ -17,12 +17,7 @@ use std::collections::{BTreeMap, VecDeque};
 /// `max_hops` edges. Returns KiB of flow.
 ///
 /// `max_hops = usize::MAX` degenerates to ordinary Edmonds–Karp.
-pub fn max_flow_bounded(
-    graph: &SubjectiveGraph,
-    src: NodeId,
-    dst: NodeId,
-    max_hops: usize,
-) -> u64 {
+pub fn max_flow_bounded(graph: &SubjectiveGraph, src: NodeId, dst: NodeId, max_hops: usize) -> u64 {
     if src == dst || max_hops == 0 {
         return 0;
     }
@@ -210,7 +205,11 @@ mod tests {
     fn fabricated_clique_cannot_push_flow_without_real_edges() {
         // Colluders 10, 11, 12 report huge transfers among themselves, but
         // none of them ever uploaded to honest node 1. Flow to node 1 is 0.
-        let graph = g(&[(10, 11, 1_000_000), (11, 12, 1_000_000), (12, 10, 1_000_000)]);
+        let graph = g(&[
+            (10, 11, 1_000_000),
+            (11, 12, 1_000_000),
+            (12, 10, 1_000_000),
+        ]);
         for c in [10, 11, 12] {
             assert_eq!(max_flow_bounded(&graph, NodeId(c), NodeId(1), 2), 0);
         }
@@ -245,12 +244,7 @@ mod tests {
                 let f = rng.below(n as u64) as u32;
                 let t = rng.below(n as u64) as u32;
                 if f != t {
-                    graph.insert_report(
-                        NodeId(f),
-                        NodeId(f),
-                        NodeId(t),
-                        1 + rng.below(100),
-                    );
+                    graph.insert_report(NodeId(f), NodeId(f), NodeId(t), 1 + rng.below(100));
                 }
             }
             let s = NodeId(rng.below(n as u64) as u32);

@@ -11,6 +11,7 @@ use crate::graph::SubjectiveGraph;
 use crate::maxflow::max_flow_bounded;
 use rvs_bittorrent::TransferLedger;
 use rvs_sim::NodeId;
+use rvs_telemetry::{BarterCounters, SharedCounter};
 use serde::{Deserialize, Serialize};
 
 /// Tuning for BarterCast.
@@ -48,6 +49,10 @@ pub struct Record {
 pub struct BarterCast {
     cfg: BarterCastConfig,
     graphs: Vec<SubjectiveGraph>,
+    // Shared (relaxed-atomic) counters: `contribution_kib` takes `&self`
+    // and sits on the experience function's hot path.
+    exchanges: SharedCounter,
+    maxflow_evaluations: SharedCounter,
 }
 
 impl BarterCast {
@@ -56,12 +61,22 @@ impl BarterCast {
         BarterCast {
             cfg,
             graphs: vec![SubjectiveGraph::new(); n],
+            exchanges: SharedCounter::default(),
+            maxflow_evaluations: SharedCounter::default(),
         }
     }
 
     /// The configuration in force.
     pub fn config(&self) -> BarterCastConfig {
         self.cfg
+    }
+
+    /// Population-wide record-exchange and maxflow counters.
+    pub fn counters(&self) -> BarterCounters {
+        BarterCounters {
+            exchanges: self.exchanges.get(),
+            maxflow_evaluations: self.maxflow_evaluations.get(),
+        }
     }
 
     /// Node `i`'s subjective graph.
@@ -102,6 +117,7 @@ impl BarterCast {
         if i == j {
             return;
         }
+        self.exchanges.incr();
         let from_i = self.own_records(i);
         let from_j = self.own_records(j);
         for r in from_j {
@@ -116,18 +132,14 @@ impl BarterCast {
     /// `reporter` to `receiver`. The receiver still applies the
     /// endpoint-validity rule, so fabrication is limited to edges incident
     /// to the reporter.
-    pub fn inject_report(
-        &mut self,
-        receiver: NodeId,
-        reporter: NodeId,
-        record: Record,
-    ) -> bool {
+    pub fn inject_report(&mut self, receiver: NodeId, reporter: NodeId, record: Record) -> bool {
         self.graphs[receiver.index()].insert_report(reporter, record.from, record.to, record.kib)
     }
 
     /// Contribution of `j` towards `i` in KiB: hop-bounded maxflow `j → i`
     /// over `i`'s subjective graph (the paper's `f_{j→i}`).
     pub fn contribution_kib(&self, i: NodeId, j: NodeId) -> u64 {
+        self.maxflow_evaluations.incr();
         max_flow_bounded(&self.graphs[i.index()], j, i, self.cfg.max_hops)
     }
 

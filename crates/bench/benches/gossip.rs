@@ -2,9 +2,7 @@
 //! metadata dissemination protocol.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rvs_modcast::{
-    ContentQuality, KeyRegistry, LocalVote, ModerationCast, ModerationCastConfig,
-};
+use rvs_modcast::{ContentQuality, KeyRegistry, LocalVote, ModerationCast, ModerationCastConfig};
 use rvs_sim::{DetRng, NodeId, SimTime, SwarmId};
 
 fn populated(n: usize, items_per_mod: u32, seed: u64) -> (ModerationCast, KeyRegistry) {
@@ -14,10 +12,21 @@ fn populated(n: usize, items_per_mod: u32, seed: u64) -> (ModerationCast, KeyReg
     // so extraction has plenty of eligible items.
     for m in 0..5u32 {
         for _ in 0..items_per_mod {
-            mc.publish(&reg, NodeId(m), SwarmId(0), ContentQuality::Genuine, SimTime::ZERO);
+            mc.publish(
+                &reg,
+                NodeId(m),
+                SwarmId(0),
+                ContentQuality::Genuine,
+                SimTime::ZERO,
+            );
         }
         for i in 5..n {
-            mc.set_opinion(NodeId::from_index(i), NodeId(m), LocalVote::Approve, SimTime::ZERO);
+            mc.set_opinion(
+                NodeId::from_index(i),
+                NodeId(m),
+                LocalVote::Approve,
+                SimTime::ZERO,
+            );
         }
     }
     (mc, reg)

@@ -1,0 +1,41 @@
+//! Telemetry overhead: the same fig6-style full-stack run with telemetry
+//! (phase timers) enabled vs disabled. Counters are always on by design —
+//! an unconditional add is cheaper than a branch — so the only measurable
+//! delta is the `Instant::now()` pair per timed phase. The acceptance bar
+//! is < 5% wall-clock regression with telemetry enabled.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rvs_scenario::experiments::vote_sampling::fig6_setup;
+use rvs_scenario::{ProtocolConfig, System};
+use rvs_sim::{SimDuration, SimTime};
+use rvs_trace::TraceGenConfig;
+
+fn fig6_run(enabled: bool) -> f64 {
+    rvs_telemetry::set_enabled(enabled);
+    let trace = TraceGenConfig::quick(16, SimDuration::from_hours(6)).generate(5);
+    let (setup, m) = fig6_setup(&trace, 0.25, 0.25, 5);
+    let mut system = System::new(trace, ProtocolConfig::default(), setup, 5);
+    system.run_until(
+        SimTime::from_hours(6),
+        SimDuration::from_hours(6),
+        |_, _| {},
+    );
+    let acc = system.ordering_accuracy(&m);
+    rvs_telemetry::set_enabled(true);
+    acc
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    group.bench_function("fig6_16peers_6h_disabled", |b| {
+        b.iter(|| black_box(fig6_run(false)));
+    });
+    group.bench_function("fig6_16peers_6h_enabled", |b| {
+        b.iter(|| black_box(fig6_run(true)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -29,9 +29,8 @@ fn main() {
         "\nmean asymmetric-adaptive T at end: {:.2} MiB",
         outcome.final_t_mean_mib
     );
-    let mean = |s: &TimeSeries| {
-        s.samples.iter().map(|p| p.value).sum::<f64>() / s.len().max(1) as f64
-    };
+    let mean =
+        |s: &TimeSeries| s.samples.iter().map(|p| p.value).sum::<f64>() / s.len().max(1) as f64;
     println!(
         "mean pollution — fixed: {:.3}  symmetric: {:.3}  asymmetric: {:.3}",
         mean(&outcome.fixed),

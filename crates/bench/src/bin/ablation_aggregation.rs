@@ -14,15 +14,21 @@ use rvs_scenario::experiments::ablations::run_aggregation_comparison;
 
 fn main() {
     let quick = quick_mode();
-    header("A4", "epidemic aggregation vs BallotBox sampling under lying", quick);
-    let (n, rounds, b_max) = if quick { (60, 100, 30) } else { (500, 400, 100) };
+    header(
+        "A4",
+        "epidemic aggregation vs BallotBox sampling under lying",
+        quick,
+    );
+    let (n, rounds, b_max) = if quick {
+        (60, 100, 30)
+    } else {
+        (500, 400, 100)
+    };
     let liar_fractions = [0.0, 0.02, 0.05, 0.10, 0.20];
     let rows = timed("simulate", || {
         run_aggregation_comparison(n, 0.2, &liar_fractions, rounds, b_max, 42)
     });
-    println!(
-        "\npopulation {n}, true support 0.20, {rounds} gossip rounds, B_max={b_max}\n"
-    );
+    println!("\npopulation {n}, true support 0.20, {rounds} gossip rounds, B_max={b_max}\n");
     println!(
         "{:>8} {:>8} {:>20} {:>18}",
         "liars", "truth", "epidemic estimate", "ballot estimate"

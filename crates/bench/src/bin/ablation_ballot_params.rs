@@ -15,17 +15,9 @@ fn main() {
     let quick = quick_mode();
     header("A2", "ballot parameter sweep (B_min × B_max)", quick);
     let (cfg, b_mins, b_maxes): (_, &[usize], &[usize]) = if quick {
-        (
-            VoteSamplingConfig::quick_demo(800),
-            &[2, 5, 10],
-            &[25, 100],
-        )
+        (VoteSamplingConfig::quick_demo(800), &[2, 5, 10], &[25, 100])
     } else {
-        (
-            VoteSamplingConfig::paper(),
-            &[2, 5, 10, 20],
-            &[25, 100],
-        )
+        (VoteSamplingConfig::paper(), &[2, 5, 10, 20], &[25, 100])
     };
     let rows = timed("simulate", || run_ballot_param_sweep(&cfg, b_mins, b_maxes));
     println!(

@@ -19,7 +19,11 @@ use rvs_sim::DetRng;
 
 fn main() {
     let quick = quick_mode();
-    header("A8", "Credence correlation baseline: isolation vs participation", quick);
+    header(
+        "A8",
+        "Credence correlation baseline: isolation vs participation",
+        quick,
+    );
     let (n, objects, votes_per_voter, trials) = if quick {
         (100usize, 60u32, 8usize, 3u64)
     } else {

@@ -89,15 +89,27 @@ fn main() {
     };
     let mut voter = 10u32;
     for _ in 0..60 {
-        bb.merge(NodeId(voter), &[e(0, rvs_core::Vote::Positive)], SimTime::from_secs(voter as u64));
+        bb.merge(
+            NodeId(voter),
+            &[e(0, rvs_core::Vote::Positive)],
+            SimTime::from_secs(voter as u64),
+        );
         voter += 1;
     }
     for _ in 0..35 {
-        bb.merge(NodeId(voter), &[e(0, rvs_core::Vote::Negative)], SimTime::from_secs(voter as u64));
+        bb.merge(
+            NodeId(voter),
+            &[e(0, rvs_core::Vote::Negative)],
+            SimTime::from_secs(voter as u64),
+        );
         voter += 1;
     }
     for _ in 0..8 {
-        bb.merge(NodeId(voter), &[e(1, rvs_core::Vote::Positive)], SimTime::from_secs(voter as u64));
+        bb.merge(
+            NodeId(voter),
+            &[e(1, rvs_core::Vote::Positive)],
+            SimTime::from_secs(voter as u64),
+        );
         voter += 1;
     }
     let summation = rank_ballot_scored(&bb, ScoreMethod::Summation, 2);

@@ -24,9 +24,8 @@ fn main() {
     };
     let (on, off) = timed("simulate", || run_voxpopuli_ablation(&cfg));
     print!("{}", TimeSeries::render_table(&[&on, &off]));
-    let area = |s: &TimeSeries| {
-        s.samples.iter().map(|p| p.value).sum::<f64>() / s.len().max(1) as f64
-    };
+    let area =
+        |s: &TimeSeries| s.samples.iter().map(|p| p.value).sum::<f64>() / s.len().max(1) as f64;
     println!(
         "\nmean accuracy over the run — VoxPopuli on: {:.3}, off: {:.3}",
         area(&on),

@@ -17,7 +17,11 @@ use rvs_sim::SimTime;
 
 fn main() {
     let quick = quick_mode();
-    header("F5", "experience formation: CEV vs time per threshold T", quick);
+    header(
+        "F5",
+        "experience formation: CEV vs time per threshold T",
+        quick,
+    );
     let cfg = if quick {
         ExperienceConfig::quick(1)
     } else {

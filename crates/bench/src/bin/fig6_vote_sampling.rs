@@ -57,4 +57,9 @@ fn main() {
         "\npaper reference: sharp rise near 12 h (VoxPopuli bootstrap once the\n\
          first nodes pass B_min), climbing towards ~1.0 over the 7 days."
     );
+    println!(
+        "\nprotocol counters (merged over {} runs):\n{}",
+        cfg.runs,
+        outcome.telemetry.to_json()
+    );
 }

@@ -84,11 +84,7 @@ pub fn rechoke(
     // ordering total and deterministic.
     let mut ranked: Vec<NodeId> = interested.to_vec();
     ranked.sort_by_key(|&p| (std::cmp::Reverse(recent_kib_from(p)), p));
-    unchoked = ranked
-        .iter()
-        .copied()
-        .take(policy.regular_slots)
-        .collect();
+    unchoked = ranked.iter().copied().take(policy.regular_slots).collect();
 
     // Optimistic slot: keep the current holder unless rotating or invalid.
     let mut optimistic = current_optimistic
@@ -124,7 +120,15 @@ mod tests {
     #[test]
     fn empty_interest_unchokes_nobody() {
         let mut rng = DetRng::new(1);
-        let d = rechoke(false, &[], |_| 0, ChokePolicy::default(), true, None, &mut rng);
+        let d = rechoke(
+            false,
+            &[],
+            |_| 0,
+            ChokePolicy::default(),
+            true,
+            None,
+            &mut rng,
+        );
         assert!(d.unchoked.is_empty());
         assert_eq!(d.optimistic, None);
     }

@@ -331,12 +331,7 @@ impl SwarmSim {
                             masked.set(*p);
                         }
                         pick_piece(&masked, &u_bitfield, &self.availability, rng).or_else(|| {
-                            pick_piece(
-                                &member_v.bitfield,
-                                &u_bitfield,
-                                &self.availability,
-                                rng,
-                            )
+                            pick_piece(&member_v.bitfield, &u_bitfield, &self.availability, rng)
                         })
                     };
                     match pick {
@@ -521,8 +516,8 @@ mod tests {
         sim.join(NodeId(2), MemberRole::Leecher, link(true, 512), true);
         let mut ledger = TransferLedger::new();
         drive(&mut sim, 2, &mut ledger);
-        let peer_to_peer = ledger.uploaded_kib(NodeId(1), NodeId(2))
-            + ledger.uploaded_kib(NodeId(2), NodeId(1));
+        let peer_to_peer =
+            ledger.uploaded_kib(NodeId(1), NodeId(2)) + ledger.uploaded_kib(NodeId(2), NodeId(1));
         assert!(
             peer_to_peer > 1024,
             "leecher trading too small: {peer_to_peer} KiB"
@@ -551,7 +546,12 @@ mod tests {
         sim.join(NodeId(1), MemberRole::Leecher, link(true, 512), true);
         let mut ledger = TransferLedger::new();
         let mut rng = DetRng::new(1);
-        sim.tick(SimTime::ZERO, SimDuration::from_secs(10), &mut ledger, &mut rng);
+        sim.tick(
+            SimTime::ZERO,
+            SimDuration::from_secs(10),
+            &mut ledger,
+            &mut rng,
+        );
         sim.leave(NodeId(0));
         assert!(!sim.is_member(NodeId(0)));
         assert_eq!(sim.member_count(), 1);

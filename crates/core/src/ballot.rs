@@ -19,6 +19,17 @@ use rvs_sim::{ModeratorId, NodeId, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+/// What a [`BallotBox::merge`] actually did — how many vote entries were
+/// written and how many voters were evicted to respect `B_max`. Consumed
+/// by the telemetry layer; safe to ignore everywhere else.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Vote entries written from the incoming list.
+    pub merged: usize,
+    /// Distinct voters evicted wholesale to stay within `B_max`.
+    pub evicted_voters: usize,
+}
+
 /// A bounded sample of other peers' votes.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BallotBox {
@@ -63,14 +74,16 @@ impl BallotBox {
     /// Merge `voter`'s local vote list received at `now`. Replaces any
     /// earlier contribution from the same voter (their list is the current
     /// truth about their votes). Evicts the least-recently-heard voter when
-    /// the unique-voter cap would be exceeded.
-    pub fn merge(&mut self, voter: NodeId, list: &[VoteEntry], now: SimTime) {
+    /// the unique-voter cap would be exceeded. Reports what happened so
+    /// callers can account for merged votes and evictions.
+    pub fn merge(&mut self, voter: NodeId, list: &[VoteEntry], now: SimTime) -> MergeOutcome {
         if list.is_empty() {
-            return;
+            return MergeOutcome::default();
         }
         // Replace the voter's previous contribution.
         self.forget_voter(voter);
         // Make room.
+        let mut evicted_voters = 0;
         while self.last_heard.len() >= self.b_max {
             let oldest = self
                 .last_heard
@@ -79,11 +92,17 @@ impl BallotBox {
                 .map(|(&v, _)| v)
                 .expect("non-empty map");
             self.forget_voter(oldest);
+            evicted_voters += 1;
         }
+        let before = self.entries.len();
         for e in list {
             self.entries.insert((voter, e.moderator), (e.vote, now));
         }
         self.last_heard.insert(voter, now);
+        MergeOutcome {
+            merged: self.entries.len() - before,
+            evicted_voters,
+        }
     }
 
     /// Drop every entry contributed by `voter`.

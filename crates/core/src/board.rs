@@ -124,9 +124,21 @@ mod tests {
             made_at: SimTime::ZERO,
         };
         // M0: 3+, 0-. M1: 1+, 0-. M2: 0+, 2-.
-        bb.merge(NodeId(10), &[e(0, Vote::Positive), e(2, Vote::Negative)], SimTime::from_secs(1));
-        bb.merge(NodeId(11), &[e(0, Vote::Positive), e(2, Vote::Negative)], SimTime::from_secs(2));
-        bb.merge(NodeId(12), &[e(0, Vote::Positive), e(1, Vote::Positive)], SimTime::from_secs(3));
+        bb.merge(
+            NodeId(10),
+            &[e(0, Vote::Positive), e(2, Vote::Negative)],
+            SimTime::from_secs(1),
+        );
+        bb.merge(
+            NodeId(11),
+            &[e(0, Vote::Positive), e(2, Vote::Negative)],
+            SimTime::from_secs(2),
+        );
+        bb.merge(
+            NodeId(12),
+            &[e(0, Vote::Positive), e(1, Vote::Positive)],
+            SimTime::from_secs(3),
+        );
         bb
     }
 

@@ -29,7 +29,7 @@ pub mod ranking;
 pub mod vote;
 pub mod voxpopuli;
 
-pub use ballot::BallotBox;
+pub use ballot::{BallotBox, MergeOutcome};
 pub use board::{BoardEntry, ModeratorBoard};
 pub use protocol::{VoteSampling, VoteSamplingConfig};
 pub use ranking::{

@@ -23,6 +23,7 @@ use crate::vote::{select_votes, VoteEntry, VoteListPolicy};
 use crate::voxpopuli::VoxCache;
 use rvs_modcast::ModerationCast;
 use rvs_sim::{DetRng, NodeId, SimTime};
+use rvs_telemetry::{VoteCounters, VoxPopuliCounters};
 use serde::{Deserialize, Serialize};
 
 /// Protocol parameters (defaults are the paper's §VI-B operating point).
@@ -71,6 +72,8 @@ pub struct VoteSampling {
     cfg: VoteSamplingConfig,
     ballots: Vec<BallotBox>,
     vox: Vec<VoxCache>,
+    counters: VoteCounters,
+    vox_counters: VoxPopuliCounters,
 }
 
 impl VoteSampling {
@@ -80,7 +83,19 @@ impl VoteSampling {
             cfg,
             ballots: (0..n).map(|_| BallotBox::new(cfg.b_max)).collect(),
             vox: (0..n).map(|_| VoxCache::new(cfg.v_max, cfg.k)).collect(),
+            counters: VoteCounters::default(),
+            vox_counters: VoxPopuliCounters::default(),
         }
+    }
+
+    /// Population-wide vote-list and ballot-maintenance counters.
+    pub fn counters(&self) -> &VoteCounters {
+        &self.counters
+    }
+
+    /// Population-wide VoxPopuli traffic counters.
+    pub fn vox_counters(&self) -> &VoxPopuliCounters {
+        &self.vox_counters
     }
 
     /// The configuration in force.
@@ -111,12 +126,7 @@ impl VoteSampling {
     /// Build node `i`'s outgoing local vote list from its ModerationCast
     /// database (its own first-hand votes), applying the per-message
     /// budget and selection policy.
-    pub fn vote_list_of(
-        &self,
-        i: NodeId,
-        mc: &ModerationCast,
-        rng: &mut DetRng,
-    ) -> Vec<VoteEntry> {
+    pub fn vote_list_of(&self, i: NodeId, mc: &ModerationCast, rng: &mut DetRng) -> Vec<VoteEntry> {
         let entries: Vec<VoteEntry> = mc
             .db(i)
             .opinions()
@@ -148,9 +158,15 @@ impl VoteSampling {
             return;
         }
         if experienced {
-            self.ballots[to.index()].merge(from, list, now);
-        } else if self.cfg.revalidate {
-            self.ballots[to.index()].forget_voter(from);
+            let outcome = self.ballots[to.index()].merge(from, list, now);
+            self.counters.lists_accepted += 1;
+            self.counters.votes_merged += outcome.merged as u64;
+            self.counters.ballot_evictions += outcome.evicted_voters as u64;
+        } else {
+            self.counters.lists_rejected_inexperienced += 1;
+            if self.cfg.revalidate {
+                self.ballots[to.index()].forget_voter(from);
+            }
         }
     }
 
@@ -173,6 +189,34 @@ impl VoteSampling {
         if !list.is_empty() {
             self.vox[i.index()].push(list);
         }
+    }
+
+    /// One counted VoxPopuli round trip: bootstrapping `i` requests `j`'s
+    /// top-K, and `j` answers per [`Self::topk_response`]. Returns whether
+    /// a response was served (declines while `j` is bootstrapping are
+    /// counted separately).
+    pub fn vox_request(&mut self, i: NodeId, j: NodeId) -> bool {
+        self.vox_counters.requests += 1;
+        match self.topk_response(j) {
+            Some(list) => {
+                self.vox_counters.responses += 1;
+                self.deliver_topk(i, list);
+                true
+            }
+            None => {
+                self.vox_counters.declines_bootstrapping += 1;
+                false
+            }
+        }
+    }
+
+    /// Record a VoxPopuli request answered by an *external* responder —
+    /// attack models fabricate their own top-K lists instead of consulting
+    /// a ballot box. Counts the request/response pair and caches the list.
+    pub fn deliver_external_topk(&mut self, i: NodeId, list: TopKList) {
+        self.vox_counters.requests += 1;
+        self.vox_counters.responses += 1;
+        self.deliver_topk(i, list);
     }
 
     /// The ranking node `i` would display: ballot statistics once `B_min`
@@ -221,9 +265,7 @@ impl VoteSampling {
         // VoxPopuli: only while i is bootstrapping; j answers only when it
         // is not bootstrapping itself.
         if self.needs_bootstrap(i) {
-            if let Some(topk) = self.topk_response(j) {
-                self.deliver_topk(i, topk);
-            }
+            self.vox_request(i, j);
         }
     }
 }
@@ -246,7 +288,13 @@ mod tests {
 
     /// Give nodes 1..=count a positive opinion on moderator 0.
     fn seed_votes(mc: &mut ModerationCast, reg: &KeyRegistry, count: usize) {
-        mc.publish(reg, NodeId(0), SwarmId(0), ContentQuality::Genuine, SimTime::ZERO);
+        mc.publish(
+            reg,
+            NodeId(0),
+            SwarmId(0),
+            ContentQuality::Genuine,
+            SimTime::ZERO,
+        );
         for v in 1..=count {
             mc.set_opinion(
                 NodeId::from_index(v),
@@ -261,7 +309,14 @@ mod tests {
     fn encounter_merges_both_directions_when_experienced() {
         let (mut vs, mut mc, reg, mut rng) = setup();
         seed_votes(&mut mc, &reg, 4);
-        vs.encounter(NodeId(1), NodeId(2), &mc, SimTime::from_mins(1), |_, _| true, &mut rng);
+        vs.encounter(
+            NodeId(1),
+            NodeId(2),
+            &mc,
+            SimTime::from_mins(1),
+            |_, _| true,
+            &mut rng,
+        );
         assert_eq!(vs.ballot(NodeId(1)).unique_voters(), 1);
         assert_eq!(vs.ballot(NodeId(2)).unique_voters(), 1);
         assert_eq!(vs.ballot(NodeId(1)).tally(NodeId(0)), (1, 0));
@@ -273,7 +328,14 @@ mod tests {
         seed_votes(&mut mc, &reg, 4);
         // Node 2 is not experienced from node 1's standpoint (and vice
         // versa): nothing merges.
-        vs.encounter(NodeId(1), NodeId(2), &mc, SimTime::from_mins(1), |_, _| false, &mut rng);
+        vs.encounter(
+            NodeId(1),
+            NodeId(2),
+            &mc,
+            SimTime::from_mins(1),
+            |_, _| false,
+            &mut rng,
+        );
         assert!(vs.ballot(NodeId(1)).is_empty());
         assert!(vs.ballot(NodeId(2)).is_empty());
     }
@@ -284,7 +346,14 @@ mod tests {
         seed_votes(&mut mc, &reg, 4);
         // Only node 1 considers node 2 experienced.
         let e = |a: NodeId, b: NodeId| a == NodeId(1) && b == NodeId(2);
-        vs.encounter(NodeId(1), NodeId(2), &mc, SimTime::from_mins(1), e, &mut rng);
+        vs.encounter(
+            NodeId(1),
+            NodeId(2),
+            &mc,
+            SimTime::from_mins(1),
+            e,
+            &mut rng,
+        );
         assert_eq!(vs.ballot(NodeId(1)).unique_voters(), 1);
         assert!(vs.ballot(NodeId(2)).is_empty());
     }
@@ -292,7 +361,14 @@ mod tests {
     #[test]
     fn nodes_without_votes_send_empty_lists() {
         let (mut vs, mc, _reg, mut rng) = setup();
-        vs.encounter(NodeId(3), NodeId(4), &mc, SimTime::from_mins(1), |_, _| true, &mut rng);
+        vs.encounter(
+            NodeId(3),
+            NodeId(4),
+            &mc,
+            SimTime::from_mins(1),
+            |_, _| true,
+            &mut rng,
+        );
         assert!(vs.ballot(NodeId(3)).is_empty());
         assert!(vs.ballot(NodeId(4)).is_empty());
     }
@@ -346,7 +422,14 @@ mod tests {
         assert!(vs.needs_bootstrap(NodeId(5)));
         assert_eq!(vs.topk_response(NodeId(5)), None);
         // And an encounter with it leaves the requester's cache empty.
-        vs.encounter(NodeId(6), NodeId(5), &mc, SimTime::from_mins(9), |_, _| true, &mut rng);
+        vs.encounter(
+            NodeId(6),
+            NodeId(5),
+            &mc,
+            SimTime::from_mins(9),
+            |_, _| true,
+            &mut rng,
+        );
         assert!(vs.vox_cache(NodeId(6)).is_empty());
     }
 
@@ -366,7 +449,14 @@ mod tests {
         }
         // Node 9 is past B_min; further encounters must not grow its cache.
         let before = vs.vox_cache(NodeId(9)).len();
-        vs.encounter(NodeId(9), NodeId(1), &mc, SimTime::from_mins(60), |_, _| true, &mut rng);
+        vs.encounter(
+            NodeId(9),
+            NodeId(1),
+            &mc,
+            SimTime::from_mins(60),
+            |_, _| true,
+            &mut rng,
+        );
         assert_eq!(vs.vox_cache(NodeId(9)).len(), before);
     }
 
@@ -374,13 +464,41 @@ mod tests {
     fn ranking_orders_m1_m2_m3_from_votes() {
         let (mut vs, mut mc, reg, mut rng) = setup();
         // M0 gets positives, M1 nothing, M2 negatives — the Figure 6 shape.
-        mc.publish(&reg, NodeId(0), SwarmId(0), ContentQuality::Genuine, SimTime::ZERO);
-        mc.publish(&reg, NodeId(1), SwarmId(0), ContentQuality::Genuine, SimTime::ZERO);
-        mc.publish(&reg, NodeId(2), SwarmId(0), ContentQuality::Genuine, SimTime::ZERO);
+        mc.publish(
+            &reg,
+            NodeId(0),
+            SwarmId(0),
+            ContentQuality::Genuine,
+            SimTime::ZERO,
+        );
+        mc.publish(
+            &reg,
+            NodeId(1),
+            SwarmId(0),
+            ContentQuality::Genuine,
+            SimTime::ZERO,
+        );
+        mc.publish(
+            &reg,
+            NodeId(2),
+            SwarmId(0),
+            ContentQuality::Genuine,
+            SimTime::ZERO,
+        );
         // Five voters so node 11's ballot reaches B_min = 5 unique voters.
         for v in 3..=7 {
-            mc.set_opinion(NodeId(v), NodeId(0), LocalVote::Approve, SimTime::from_secs(v as u64));
-            mc.set_opinion(NodeId(v), NodeId(2), LocalVote::Disapprove, SimTime::from_secs(v as u64));
+            mc.set_opinion(
+                NodeId(v),
+                NodeId(0),
+                LocalVote::Approve,
+                SimTime::from_secs(v as u64),
+            );
+            mc.set_opinion(
+                NodeId(v),
+                NodeId(2),
+                LocalVote::Disapprove,
+                SimTime::from_secs(v as u64),
+            );
         }
         for v in 3..=8 {
             vs.encounter(
@@ -406,9 +524,23 @@ mod tests {
         seed_votes(&mut mc, &reg, 3);
         // First contact accepted, second rejected: without revalidation the
         // earlier votes survive.
-        vs.encounter(NodeId(9), NodeId(1), &mc, SimTime::from_mins(1), |_, _| true, &mut rng);
+        vs.encounter(
+            NodeId(9),
+            NodeId(1),
+            &mc,
+            SimTime::from_mins(1),
+            |_, _| true,
+            &mut rng,
+        );
         assert_eq!(vs.ballot(NodeId(9)).unique_voters(), 1);
-        vs.encounter(NodeId(9), NodeId(1), &mc, SimTime::from_mins(2), |_, _| false, &mut rng);
+        vs.encounter(
+            NodeId(9),
+            NodeId(1),
+            &mc,
+            SimTime::from_mins(2),
+            |_, _| false,
+            &mut rng,
+        );
         assert_eq!(vs.ballot(NodeId(9)).unique_voters(), 1);
     }
 
@@ -423,18 +555,39 @@ mod tests {
         let reg = KeyRegistry::new(N, 3);
         let mut rng = DetRng::new(17);
         seed_votes(&mut mc, &reg, 3);
-        vs.encounter(NodeId(9), NodeId(1), &mc, SimTime::from_mins(1), |_, _| true, &mut rng);
+        vs.encounter(
+            NodeId(9),
+            NodeId(1),
+            &mc,
+            SimTime::from_mins(1),
+            |_, _| true,
+            &mut rng,
+        );
         assert_eq!(vs.ballot(NodeId(9)).unique_voters(), 1);
         // The sender no longer passes E (e.g. the node raised its adaptive
         // threshold): its earlier contribution is shed.
-        vs.encounter(NodeId(9), NodeId(1), &mc, SimTime::from_mins(2), |_, _| false, &mut rng);
+        vs.encounter(
+            NodeId(9),
+            NodeId(1),
+            &mc,
+            SimTime::from_mins(2),
+            |_, _| false,
+            &mut rng,
+        );
         assert_eq!(vs.ballot(NodeId(9)).unique_voters(), 0);
     }
 
     #[test]
     fn self_encounter_is_noop() {
         let (mut vs, mc, _reg, mut rng) = setup();
-        vs.encounter(NodeId(1), NodeId(1), &mc, SimTime::ZERO, |_, _| true, &mut rng);
+        vs.encounter(
+            NodeId(1),
+            NodeId(1),
+            &mc,
+            SimTime::ZERO,
+            |_, _| true,
+            &mut rng,
+        );
         assert!(vs.ballot(NodeId(1)).is_empty());
     }
 
@@ -447,7 +600,12 @@ mod tests {
         let mut vs = VoteSampling::new(N, cfg);
         let mut mc = ModerationCast::new(N, ModerationCastConfig::default());
         for m in 1..10u32 {
-            mc.set_opinion(NodeId(0), NodeId(m), LocalVote::Approve, SimTime::from_secs(m as u64));
+            mc.set_opinion(
+                NodeId(0),
+                NodeId(m),
+                LocalVote::Approve,
+                SimTime::from_secs(m as u64),
+            );
         }
         let mut rng = DetRng::new(5);
         let list = vs.vote_list_of(NodeId(0), &mc, &mut rng);
@@ -456,7 +614,11 @@ mod tests {
         vs.deliver_vote_list(NodeId(0), NodeId(1), &list, SimTime::from_mins(1), true);
         assert_eq!(vs.ballot(NodeId(1)).len(), 3);
         assert_eq!(
-            vs.ballot(NodeId(1)).iter().map(|(_, _, v, _)| v).filter(|&v| v == Vote::Positive).count(),
+            vs.ballot(NodeId(1))
+                .iter()
+                .map(|(_, _, v, _)| v)
+                .filter(|&v| v == Vote::Positive)
+                .count(),
             3
         );
     }

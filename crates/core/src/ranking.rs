@@ -34,7 +34,10 @@ pub struct TopKList {
 impl TopKList {
     /// The rank (1-based) of `moderator`, or `None` when absent.
     pub fn rank_of(&self, moderator: ModeratorId) -> Option<usize> {
-        self.ranked.iter().position(|&m| m == moderator).map(|p| p + 1)
+        self.ranked
+            .iter()
+            .position(|&m| m == moderator)
+            .map(|p| p + 1)
     }
 
     /// The top-ranked moderator, if any.
@@ -158,8 +161,7 @@ mod tests {
     fn ballot(votes: &[(u32, u32, Vote)]) -> BallotBox {
         // (voter, moderator, vote)
         let mut bb = BallotBox::new(100);
-        let mut per_voter: std::collections::BTreeMap<u32, Vec<VoteEntry>> =
-            Default::default();
+        let mut per_voter: std::collections::BTreeMap<u32, Vec<VoteEntry>> = Default::default();
         for &(v, m, vote) in votes {
             per_voter.entry(v).or_default().push(e(m, vote));
         }

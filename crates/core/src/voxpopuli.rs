@@ -122,9 +122,7 @@ impl VoxCache {
                     })
                     .collect();
                 let score = match method {
-                    MergeMethod::MeanRank => {
-                        ranks.iter().sum::<f64>() / ranks.len() as f64
-                    }
+                    MergeMethod::MeanRank => ranks.iter().sum::<f64>() / ranks.len() as f64,
                     MergeMethod::Borda => {
                         // K − rank points per list (absent ⇒ 0); negate so
                         // lower is better.
@@ -135,8 +133,7 @@ impl VoxCache {
                     }
                     MergeMethod::MedianRank => {
                         let mut sorted = ranks.clone();
-                        sorted
-                            .sort_by(|a, b| a.partial_cmp(b).expect("ranks finite"));
+                        sorted.sort_by(|a, b| a.partial_cmp(b).expect("ranks finite"));
                         let mid = sorted.len() / 2;
                         if sorted.len() % 2 == 1 {
                             sorted[mid]

@@ -62,8 +62,7 @@ mod tests {
     fn half_density_core() {
         // Nodes 0..5 form a complete experienced core within a population
         // of 10: 5*4 = 20 experienced ordered pairs of 90 total.
-        let cev =
-            collective_experience_value(10, |i, j| i.index() < 5 && j.index() < 5);
+        let cev = collective_experience_value(10, |i, j| i.index() < 5 && j.index() < 5);
         assert!((cev - 20.0 / 90.0).abs() < 1e-12);
     }
 

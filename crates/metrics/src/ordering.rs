@@ -163,12 +163,18 @@ mod tests {
 
     #[test]
     fn kendall_identity_is_zero() {
-        assert_eq!(kendall_tau_distance(&ids(&[1, 2, 3]), &ids(&[1, 2, 3])), 0.0);
+        assert_eq!(
+            kendall_tau_distance(&ids(&[1, 2, 3]), &ids(&[1, 2, 3])),
+            0.0
+        );
     }
 
     #[test]
     fn kendall_reversal_is_one() {
-        assert_eq!(kendall_tau_distance(&ids(&[3, 2, 1]), &ids(&[1, 2, 3])), 1.0);
+        assert_eq!(
+            kendall_tau_distance(&ids(&[3, 2, 1]), &ids(&[1, 2, 3])),
+            1.0
+        );
     }
 
     #[test]

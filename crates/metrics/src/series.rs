@@ -87,10 +87,7 @@ impl TimeSeries {
             let t = runs[0].samples[idx].time;
             let mut sum = 0.0;
             for r in runs {
-                assert_eq!(
-                    r.samples[idx].time, t,
-                    "runs must share the sampling grid"
-                );
+                assert_eq!(r.samples[idx].time, t, "runs must share the sampling grid");
                 sum += r.samples[idx].value;
             }
             out.push(t, sum / runs.len() as f64);

@@ -35,6 +35,34 @@ pub enum ExtractPolicy {
     RecencyAndRandom,
 }
 
+/// Why (or whether) [`LocalDb::insert`] stored an item. Telemetry needs to
+/// tell the approval gate apart from ordinary duplicate suppression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The moderation was stored.
+    Stored,
+    /// Refused: the local user disapproves of the moderator.
+    RefusedByGate,
+    /// Already present — gossip redundancy, not a refusal.
+    Duplicate,
+    /// The database is at capacity with only the node's own items.
+    FullOfOwnItems,
+}
+
+/// Tally of one [`LocalDb::merge`]: how many offered items were stored and
+/// how each refusal broke down.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Items newly stored.
+    pub stored: usize,
+    /// Items refused by the local disapproval gate.
+    pub refused_by_gate: usize,
+    /// Items already present.
+    pub duplicates: usize,
+    /// Items dropped because the db held only own items at capacity.
+    pub dropped_full: usize,
+}
+
 /// One node's moderation database and voting record.
 #[derive(Debug, Clone)]
 pub struct LocalDb {
@@ -132,11 +160,16 @@ impl LocalDb {
     /// At capacity, the oldest-received foreign item is evicted; the node's
     /// own moderations are never evicted.
     pub fn insert(&mut self, m: Moderation, received: SimTime) -> bool {
+        self.insert_outcome(m, received) == InsertOutcome::Stored
+    }
+
+    /// Like [`Self::insert`], reporting *why* an item was refused.
+    pub fn insert_outcome(&mut self, m: Moderation, received: SimTime) -> InsertOutcome {
         if self.opinion(m.moderator) == Some(LocalVote::Disapprove) {
-            return false;
+            return InsertOutcome::RefusedByGate;
         }
         if self.items.contains_key(&m.id()) {
-            return false;
+            return InsertOutcome::Duplicate;
         }
         if self.items.len() >= self.capacity {
             // Evict the oldest-received foreign item.
@@ -150,29 +183,39 @@ impl LocalDb {
                 Some(v) => {
                     self.items.remove(&v);
                 }
-                None => return false, // full of own items; drop the arrival
+                // Full of own items; drop the arrival.
+                None => return InsertOutcome::FullOfOwnItems,
             }
         }
         self.items.insert(m.id(), (m, received));
-        true
+        InsertOutcome::Stored
     }
 
     /// Merge a received moderation list (gossip `Merge()`): inserts each
     /// item, respecting local votes. Returns how many were new.
     pub fn merge(&mut self, list: &[Moderation], received: SimTime) -> usize {
-        list.iter().filter(|m| self.insert(**m, received)).count()
+        self.merge_counted(list, received).stored
+    }
+
+    /// Like [`Self::merge`], with a per-refusal-reason breakdown.
+    pub fn merge_counted(&mut self, list: &[Moderation], received: SimTime) -> MergeStats {
+        let mut stats = MergeStats::default();
+        for m in list {
+            match self.insert_outcome(*m, received) {
+                InsertOutcome::Stored => stats.stored += 1,
+                InsertOutcome::RefusedByGate => stats.refused_by_gate += 1,
+                InsertOutcome::Duplicate => stats.duplicates += 1,
+                InsertOutcome::FullOfOwnItems => stats.dropped_full += 1,
+            }
+        }
+        stats
     }
 
     /// Build the moderation list offered to a gossip partner
     /// (`Extract()`): only the node's own moderations and those from
     /// approved moderators are eligible; at most `max` items chosen by
     /// `policy`.
-    pub fn extract(
-        &self,
-        max: usize,
-        policy: ExtractPolicy,
-        rng: &mut DetRng,
-    ) -> Vec<Moderation> {
+    pub fn extract(&self, max: usize, policy: ExtractPolicy, rng: &mut DetRng) -> Vec<Moderation> {
         let mut eligible: Vec<(&Moderation, SimTime)> = self
             .items
             .values()
@@ -329,7 +372,11 @@ mod tests {
                 seen.insert(m.seq);
             }
         }
-        assert!(seen.len() >= 25, "random policy sweeps items: {}", seen.len());
+        assert!(
+            seen.len() >= 25,
+            "random policy sweeps items: {}",
+            seen.len()
+        );
     }
 
     #[test]

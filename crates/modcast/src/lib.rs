@@ -25,7 +25,7 @@ pub mod moderation;
 pub mod protocol;
 pub mod sign;
 
-pub use db::{LocalDb, LocalVote};
+pub use db::{InsertOutcome, LocalDb, LocalVote, MergeStats};
 pub use moderation::{ContentQuality, Moderation, ModerationId};
 pub use protocol::{ModerationCast, ModerationCastConfig};
 pub use sign::{KeyRegistry, Signature};

@@ -17,9 +17,7 @@ pub enum ContentQuality {
 
 /// Identity of a moderation: `(moderator, seq)` — each moderator numbers
 /// its items sequentially.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ModerationId {
     /// The creating moderator.
     pub moderator: ModeratorId,

@@ -10,6 +10,7 @@ use crate::db::{ExtractPolicy, LocalDb, LocalVote};
 use crate::moderation::{ContentQuality, Moderation};
 use crate::sign::KeyRegistry;
 use rvs_sim::{DetRng, ModeratorId, NodeId, SimTime, SwarmId};
+use rvs_telemetry::ModerationCounters;
 use serde::{Deserialize, Serialize};
 
 /// Tuning for ModerationCast.
@@ -39,6 +40,7 @@ pub struct ModerationCast {
     cfg: ModerationCastConfig,
     dbs: Vec<LocalDb>,
     next_seq: Vec<u32>,
+    counters: ModerationCounters,
 }
 
 impl ModerationCast {
@@ -50,7 +52,13 @@ impl ModerationCast {
                 .map(|i| LocalDb::new(NodeId::from_index(i), cfg.db_capacity))
                 .collect(),
             next_seq: vec![0; n],
+            counters: ModerationCounters::default(),
         }
+    }
+
+    /// Population-wide dissemination counters.
+    pub fn counters(&self) -> &ModerationCounters {
+        &self.counters
     }
 
     /// Node `i`'s database.
@@ -106,17 +114,21 @@ impl ModerationCast {
         }
         let list_i = self.dbs[i.index()].extract(self.cfg.max_list, self.cfg.policy, rng);
         let list_j = self.dbs[j.index()].extract(self.cfg.max_list, self.cfg.policy, rng);
-        let verified_j: Vec<Moderation> = list_j
-            .into_iter()
-            .filter(|m| m.verify(registry))
-            .collect();
-        let verified_i: Vec<Moderation> = list_i
-            .into_iter()
-            .filter(|m| m.verify(registry))
-            .collect();
-        let new_i = self.dbs[i.index()].merge(&verified_j, now);
-        let new_j = self.dbs[j.index()].merge(&verified_i, now);
-        (new_i, new_j)
+        let sent = (list_i.len() + list_j.len()) as u64;
+        self.counters.pushed += sent;
+        self.counters.signature_verifies += sent;
+        let verified_j: Vec<Moderation> =
+            list_j.into_iter().filter(|m| m.verify(registry)).collect();
+        let verified_i: Vec<Moderation> =
+            list_i.into_iter().filter(|m| m.verify(registry)).collect();
+        let received = (verified_i.len() + verified_j.len()) as u64;
+        self.counters.signature_failures += sent - received;
+        self.counters.pulled += received;
+        let stats_i = self.dbs[i.index()].merge_counted(&verified_j, now);
+        let stats_j = self.dbs[j.index()].merge_counted(&verified_i, now);
+        self.counters.rejected_by_gate +=
+            (stats_i.refused_by_gate + stats_j.refused_by_gate) as u64;
+        (stats_i.stored, stats_j.stored)
     }
 
     /// How many nodes store at least one item from `moderator` — the
@@ -174,8 +186,20 @@ mod tests {
     #[test]
     fn sequence_numbers_increment() {
         let (mut mc, reg, _) = setup(2);
-        let a = mc.publish(&reg, NodeId(0), SwarmId(0), ContentQuality::Genuine, SimTime::ZERO);
-        let b = mc.publish(&reg, NodeId(0), SwarmId(0), ContentQuality::Genuine, SimTime::ZERO);
+        let a = mc.publish(
+            &reg,
+            NodeId(0),
+            SwarmId(0),
+            ContentQuality::Genuine,
+            SimTime::ZERO,
+        );
+        let b = mc.publish(
+            &reg,
+            NodeId(0),
+            SwarmId(0),
+            ContentQuality::Genuine,
+            SimTime::ZERO,
+        );
         assert_eq!(a.seq, 0);
         assert_eq!(b.seq, 1);
     }
@@ -183,8 +207,20 @@ mod tests {
     #[test]
     fn exchange_moves_own_items_both_ways() {
         let (mut mc, reg, mut rng) = setup(3);
-        mc.publish(&reg, NodeId(0), SwarmId(0), ContentQuality::Genuine, SimTime::ZERO);
-        mc.publish(&reg, NodeId(1), SwarmId(0), ContentQuality::Genuine, SimTime::ZERO);
+        mc.publish(
+            &reg,
+            NodeId(0),
+            SwarmId(0),
+            ContentQuality::Genuine,
+            SimTime::ZERO,
+        );
+        mc.publish(
+            &reg,
+            NodeId(1),
+            SwarmId(0),
+            ContentQuality::Genuine,
+            SimTime::ZERO,
+        );
         let (new0, new1) = mc.exchange(&reg, NodeId(0), NodeId(1), SimTime::from_secs(5), &mut rng);
         assert_eq!((new0, new1), (1, 1));
         assert_eq!(mc.coverage(NodeId(0)), 2);
@@ -221,8 +257,20 @@ mod tests {
         let (mut mc, reg, mut rng) = setup(n);
         // Moderator 0: approved by half the population up front.
         // Moderator 1: no approvals.
-        mc.publish(&reg, NodeId(0), SwarmId(0), ContentQuality::Genuine, SimTime::ZERO);
-        mc.publish(&reg, NodeId(1), SwarmId(0), ContentQuality::Genuine, SimTime::ZERO);
+        mc.publish(
+            &reg,
+            NodeId(0),
+            SwarmId(0),
+            ContentQuality::Genuine,
+            SimTime::ZERO,
+        );
+        mc.publish(
+            &reg,
+            NodeId(1),
+            SwarmId(0),
+            ContentQuality::Genuine,
+            SimTime::ZERO,
+        );
         for i in 2..n / 2 {
             mc.set_opinion(
                 NodeId::from_index(i),
@@ -246,7 +294,13 @@ mod tests {
     #[test]
     fn disapproval_halts_forwarding_chain() {
         let (mut mc, reg, mut rng) = setup(3);
-        mc.publish(&reg, NodeId(0), SwarmId(0), ContentQuality::Spam, SimTime::ZERO);
+        mc.publish(
+            &reg,
+            NodeId(0),
+            SwarmId(0),
+            ContentQuality::Spam,
+            SimTime::ZERO,
+        );
         // Node 1 disapproves moderator 0: refuses and never forwards.
         mc.set_opinion(NodeId(1), NodeId(0), LocalVote::Disapprove, SimTime::ZERO);
         mc.exchange(&reg, NodeId(0), NodeId(1), SimTime::from_secs(5), &mut rng);
@@ -262,7 +316,13 @@ mod tests {
     #[test]
     fn neutral_nodes_store_but_do_not_forward() {
         let (mut mc, reg, mut rng) = setup(3);
-        mc.publish(&reg, NodeId(0), SwarmId(0), ContentQuality::Genuine, SimTime::ZERO);
+        mc.publish(
+            &reg,
+            NodeId(0),
+            SwarmId(0),
+            ContentQuality::Genuine,
+            SimTime::ZERO,
+        );
         // Node 1 receives directly (no vote either way).
         mc.exchange(&reg, NodeId(0), NodeId(1), SimTime::from_secs(5), &mut rng);
         assert_eq!(mc.coverage(NodeId(0)), 2);
@@ -274,7 +334,13 @@ mod tests {
     #[test]
     fn self_exchange_is_noop() {
         let (mut mc, reg, mut rng) = setup(2);
-        mc.publish(&reg, NodeId(0), SwarmId(0), ContentQuality::Genuine, SimTime::ZERO);
+        mc.publish(
+            &reg,
+            NodeId(0),
+            SwarmId(0),
+            ContentQuality::Genuine,
+            SimTime::ZERO,
+        );
         assert_eq!(
             mc.exchange(&reg, NodeId(0), NodeId(0), SimTime::ZERO, &mut rng),
             (0, 0)

@@ -11,6 +11,7 @@
 
 use crate::PeerSampler;
 use rvs_sim::{DetRng, NodeId, SimTime};
+use rvs_telemetry::PssCounters;
 use serde::{Deserialize, Serialize};
 
 /// Tuning for the Newscast PSS.
@@ -41,6 +42,7 @@ pub struct NewscastPss {
     cfg: NewscastConfig,
     views: Vec<Vec<Entry>>,
     online: Vec<bool>,
+    counters: PssCounters,
 }
 
 impl NewscastPss {
@@ -50,7 +52,13 @@ impl NewscastPss {
             cfg,
             views: vec![Vec::new(); n],
             online: vec![false; n],
+            counters: PssCounters::default(),
         }
+    }
+
+    /// Population-wide view-exchange counters.
+    pub fn counters(&self) -> &PssCounters {
+        &self.counters
     }
 
     /// Population size.
@@ -129,17 +137,18 @@ impl NewscastPss {
             // Contacting an offline peer fails silently (timeout); the stale
             // entry ages out via max_age.
             if partner.index() >= self.online.len() || !self.online[partner.index()] {
+                self.counters.failed_contacts += 1;
                 continue;
             }
             self.exchange(initiator, partner, now, rng);
+            self.counters.exchanges += 1;
         }
     }
 
     /// Symmetric view exchange between two online peers.
     fn exchange(&mut self, a: NodeId, b: NodeId, now: SimTime, rng: &mut DetRng) {
-        let mut union: Vec<Entry> = Vec::with_capacity(
-            self.views[a.index()].len() + self.views[b.index()].len() + 2,
-        );
+        let mut union: Vec<Entry> =
+            Vec::with_capacity(self.views[a.index()].len() + self.views[b.index()].len() + 2);
         union.extend(self.views[a.index()].iter().copied());
         union.extend(self.views[b.index()].iter().copied());
         union.push(Entry {

@@ -120,8 +120,7 @@ pub fn run_ballot_param_sweep(
         let (b_min, b_max) = combos[c];
         let seed = cfg.base_seed;
         let trace = cfg.trace.generate(seed);
-        let (setup, m) =
-            fig6_setup(&trace, cfg.positive_fraction, cfg.negative_fraction, seed);
+        let (setup, m) = fig6_setup(&trace, cfg.positive_fraction, cfg.negative_fraction, seed);
         let protocol = ProtocolConfig {
             votes: rvs_core::VoteSamplingConfig {
                 b_min,
@@ -174,8 +173,7 @@ pub fn run_policy_sweep(cfg: &VoteSamplingConfig) -> Vec<PolicyRow> {
         let policy = policies[k];
         let seed = cfg.base_seed;
         let trace = cfg.trace.generate(seed);
-        let (setup, m) =
-            fig6_setup(&trace, cfg.positive_fraction, cfg.negative_fraction, seed);
+        let (setup, m) = fig6_setup(&trace, cfg.positive_fraction, cfg.negative_fraction, seed);
         let protocol = ProtocolConfig {
             votes: rvs_core::VoteSamplingConfig {
                 policy,
@@ -232,8 +230,7 @@ pub fn run_aggregation_comparison(
             let initial: Vec<f64> = (0..n)
                 .map(|i| if i < n_support { 1.0 } else { 0.0 })
                 .collect();
-            let liars: Vec<NodeId> =
-                (n_honest..n).map(NodeId::from_index).collect();
+            let liars: Vec<NodeId> = (n_honest..n).map(NodeId::from_index).collect();
             let mut epidemic = EpidemicAggregation::new(initial, liars.clone(), 1.0);
             epidemic.run(rounds, &mut rng);
             let epidemic_estimate = epidemic.honest_mean();
@@ -271,11 +268,7 @@ pub struct MoleRow {
 }
 
 /// Run the A5 mole-leverage measurement for several genuine payments.
-pub fn run_mole_leverage(
-    real_kibs: &[u64],
-    claimed_kib: u64,
-    colluders: usize,
-) -> Vec<MoleRow> {
+pub fn run_mole_leverage(real_kibs: &[u64], claimed_kib: u64, colluders: usize) -> Vec<MoleRow> {
     assert!(colluders >= 1);
     real_kibs
         .iter()
@@ -305,8 +298,7 @@ pub fn run_voxpopuli_ablation(cfg: &VoteSamplingConfig) -> (TimeSeries, TimeSeri
     let variant = |vox_enabled: bool, label: &str| -> TimeSeries {
         let seed = cfg.base_seed;
         let trace = cfg.trace.generate(seed);
-        let (setup, m) =
-            fig6_setup(&trace, cfg.positive_fraction, cfg.negative_fraction, seed);
+        let (setup, m) = fig6_setup(&trace, cfg.positive_fraction, cfg.negative_fraction, seed);
         let protocol = ProtocolConfig {
             vox_enabled,
             ..cfg.protocol
@@ -331,8 +323,7 @@ mod tests {
 
     #[test]
     fn aggregation_rows_show_lying_vulnerability() {
-        let rows =
-            run_aggregation_comparison(60, 0.2, &[0.0, 0.1], 150, 50, 3);
+        let rows = run_aggregation_comparison(60, 0.2, &[0.0, 0.1], 150, 50, 3);
         assert_eq!(rows.len(), 2);
         let clean = rows[0];
         let attacked = rows[1];

@@ -66,7 +66,12 @@ impl ExperienceConfig {
 pub fn run_experience_formation(cfg: &ExperienceConfig) -> Vec<TimeSeries> {
     let trace = cfg.trace.generate(cfg.trace_seed);
     let n = trace.peer_count();
-    let mut system = System::new(trace, cfg.protocol, ScenarioSetup::default(), cfg.trace_seed);
+    let mut system = System::new(
+        trace,
+        cfg.protocol,
+        ScenarioSetup::default(),
+        cfg.trace_seed,
+    );
     let mut series: Vec<TimeSeries> = cfg
         .thresholds_mib
         .iter()
@@ -152,7 +157,10 @@ mod tests {
     #[test]
     fn experiment_is_deterministic() {
         let cfg = ExperienceConfig::quick(5);
-        assert_eq!(run_experience_formation(&cfg), run_experience_formation(&cfg));
+        assert_eq!(
+            run_experience_formation(&cfg),
+            run_experience_formation(&cfg)
+        );
     }
 
     #[test]

@@ -2,12 +2,12 @@
 //!
 //! Multi-run averages (the paper uses 10 runs per configuration) and
 //! parameter sweeps are embarrassingly parallel: every run owns its whole
-//! system state and shares nothing. We use `crossbeam::thread::scope` so
-//! run closures may borrow the (read-only) configuration from the caller's
-//! stack, and collect results through a `parking_lot::Mutex`, preserving
+//! system state and shares nothing. We use `std::thread::scope` so run
+//! closures may borrow the (read-only) configuration from the caller's
+//! stack, and collect results through a `std::sync::Mutex`, preserving
 //! run order by index.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Execute `f(0..n)` across up to `max_threads` worker threads and return
 /// the results in index order. `f` must be deterministic per index —
@@ -20,11 +20,11 @@ where
     assert!(max_threads > 0, "need at least one worker");
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
     let next: Mutex<usize> = Mutex::new(0);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..max_threads.min(n.max(1)) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = {
-                    let mut guard = next.lock();
+                    let mut guard = next.lock().unwrap();
                     if *guard >= n {
                         break;
                     }
@@ -33,13 +33,13 @@ where
                     i
                 };
                 let value = f(idx);
-                results.lock()[idx] = Some(value);
+                results.lock().unwrap()[idx] = Some(value);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     results
         .into_inner()
+        .expect("worker thread panicked")
         .into_iter()
         .map(|v| v.expect("all indices computed"))
         .collect()

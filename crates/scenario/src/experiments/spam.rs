@@ -98,11 +98,7 @@ pub fn fig8_setup(trace: &Trace, core_size: usize, crowd_size: usize) -> Scenari
             members: core_members,
             top_moderator: m1,
         }),
-        crowd: Some(CrowdSpec::churning(
-            crowd_size,
-            SimTime::ZERO,
-            SwarmId(0),
-        )),
+        crowd: Some(CrowdSpec::churning(crowd_size, SimTime::ZERO, SwarmId(0))),
     }
 }
 
@@ -159,8 +155,7 @@ mod tests {
         let cfg = SpamAttackConfig::quick(11);
         let curves = run_spam_attack(&cfg);
         assert_eq!(curves.len(), 2);
-        let peak =
-            |s: &TimeSeries| s.samples.iter().map(|p| p.value).fold(0.0_f64, f64::max);
+        let peak = |s: &TimeSeries| s.samples.iter().map(|p| p.value).fold(0.0_f64, f64::max);
         let small = peak(&curves[0]);
         let large = peak(&curves[1]);
         assert!(

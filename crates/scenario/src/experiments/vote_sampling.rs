@@ -18,6 +18,7 @@ use crate::system::System;
 use rvs_metrics::TimeSeries;
 use rvs_modcast::{ContentQuality, LocalVote};
 use rvs_sim::{DetRng, ModeratorId, NodeId, SimDuration, SimTime, SwarmId};
+use rvs_telemetry::Snapshot;
 use rvs_trace::{Trace, TraceGenConfig};
 
 /// Configuration for the Figure 6 experiment.
@@ -86,6 +87,9 @@ pub struct VoteSamplingOutcome {
     /// The moderators `[M1, M2, M3]` of the *first* run (ids differ per
     /// trace; exposed for inspection).
     pub moderators: [ModeratorId; 3],
+    /// Per-protocol counters merged over all runs (phase timings stripped,
+    /// so the outcome stays deterministic given the seed).
+    pub telemetry: Snapshot,
 }
 
 /// Build the Figure 6 scenario cast for a given trace.
@@ -142,8 +146,10 @@ pub fn fig6_setup(
     )
 }
 
-/// Run one Figure 6 trace and return its accuracy curve.
-fn run_one(cfg: &VoteSamplingConfig, run: usize) -> (TimeSeries, [ModeratorId; 3]) {
+/// Run one Figure 6 trace and return its accuracy curve plus the run's
+/// counter snapshot (phase timings stripped — counters are deterministic
+/// given the seed, wall-clock phases are not).
+fn run_one(cfg: &VoteSamplingConfig, run: usize) -> (TimeSeries, [ModeratorId; 3], Snapshot) {
     let seed = cfg.base_seed + run as u64;
     let trace = cfg.trace.generate(seed);
     let (setup, m) = fig6_setup(&trace, cfg.positive_fraction, cfg.negative_fraction, seed);
@@ -153,7 +159,8 @@ fn run_one(cfg: &VoteSamplingConfig, run: usize) -> (TimeSeries, [ModeratorId; 3
     system.run_until(end, cfg.sample_every, |sys, now| {
         series.push(now, sys.ordering_accuracy(&m));
     });
-    (series, m)
+    let snapshot = system.telemetry_snapshot().counters_only();
+    (series, m, snapshot)
 }
 
 /// Run the full Figure 6 experiment (parallel over traces).
@@ -161,12 +168,16 @@ pub fn run_vote_sampling(cfg: &VoteSamplingConfig) -> VoteSamplingOutcome {
     assert!(cfg.runs >= 1);
     let results = parallel_runs(cfg.runs, default_threads(cfg.runs), |r| run_one(cfg, r));
     let moderators = results[0].1;
-    let typical: Vec<TimeSeries> = results.into_iter().map(|(s, _)| s).collect();
+    let telemetry = results
+        .iter()
+        .fold(Snapshot::default(), |acc, (_, _, snap)| acc.merged(snap));
+    let typical: Vec<TimeSeries> = results.into_iter().map(|(s, _, _)| s).collect();
     let accuracy = TimeSeries::mean_over(format!("avg of {}", cfg.runs), &typical);
     VoteSamplingOutcome {
         typical,
         accuracy,
         moderators,
+        telemetry,
     }
 }
 
@@ -222,7 +233,11 @@ mod tests {
         );
         // Accuracy starts near zero: nobody has votes or rankings yet.
         let first = outcome.accuracy.samples.first().unwrap();
-        assert!(first.value < 0.3, "accuracy starts low, got {}", first.value);
+        assert!(
+            first.value < 0.3,
+            "accuracy starts low, got {}",
+            first.value
+        );
     }
 
     #[test]

@@ -19,16 +19,16 @@
 //!   vote-list policies, epidemic-aggregation baseline, mole attack, and
 //!   VoxPopuli on/off.
 
+pub mod audit;
 pub mod config;
 pub mod experiments;
 pub mod system;
 
+pub use audit::Auditor;
 pub use config::{
     CrowdSpec, ModeratorSpec, PreseededCore, ProtocolConfig, ScenarioSetup, VoterSpec,
 };
 pub use experiments::experience::{run_experience_formation, ExperienceConfig};
 pub use experiments::spam::{run_spam_attack, SpamAttackConfig};
-pub use experiments::vote_sampling::{
-    run_vote_sampling, VoteSamplingConfig, VoteSamplingOutcome,
-};
+pub use experiments::vote_sampling::{run_vote_sampling, VoteSamplingConfig, VoteSamplingOutcome};
 pub use system::System;

@@ -1,17 +1,24 @@
 //! The assembled system: every substrate wired together and driven by a
 //! trace.
 
+use crate::audit::Auditor;
 use crate::config::{ProtocolConfig, ScenarioSetup};
 use rvs_attacks::FlashCrowd;
 use rvs_bartercast::{AdaptiveThreshold, BarterCast};
 use rvs_bittorrent::BitTorrentNet;
-use rvs_core::{VoteEntry, VoteSampling};
+use rvs_core::{BallotBox, VoteEntry, VoteSampling};
 use rvs_metrics::{collective_experience_value, correct_ordering_fraction, pollution_fraction};
 use rvs_modcast::{KeyRegistry, LocalVote, ModerationCast};
 use rvs_pss::{NewscastConfig, NewscastPss, OraclePss, PeerSampler};
 use rvs_sim::{DetRng, ModeratorId, NodeId, SimTime};
+use rvs_telemetry::{EncounterCounters, PhaseTimer, Snapshot};
 use rvs_trace::{Trace, TraceEventKind};
 use std::collections::BTreeSet;
+
+/// Number of vote entries `voter` currently holds in `ballot`.
+fn votes_from(ballot: &BallotBox, voter: NodeId) -> usize {
+    ballot.iter().filter(|&(v, _, _, _)| v == voter).count()
+}
 
 /// The peer sampling service in use.
 enum Pss {
@@ -75,6 +82,10 @@ pub struct System {
     rng_bt: DetRng,
     rng_gossip: DetRng,
     rng_pss: DetRng,
+
+    enc: EncounterCounters,
+    timer: PhaseTimer,
+    audit: Option<Auditor>,
 }
 
 impl System {
@@ -101,7 +112,12 @@ impl System {
         let crowd = setup.crowd.map(|spec| {
             assert!(spec.size > 0, "crowd must have at least one member");
             let members: Vec<NodeId> = (n_trace..n_total).map(NodeId::from_index).collect();
-            FlashCrowd::new(members, NodeId::from_index(n_trace), spec.demote, spec.join_at)
+            FlashCrowd::new(
+                members,
+                NodeId::from_index(n_trace),
+                spec.demote,
+                spec.join_at,
+            )
         });
 
         // Pre-seeded experienced core: converged on its top moderator.
@@ -155,6 +171,45 @@ impl System {
             rng_bt: root.fork(1),
             rng_gossip: root.fork(2),
             rng_pss: root.fork(3),
+            enc: EncounterCounters::default(),
+            timer: PhaseTimer::new(),
+            audit: None,
+        }
+    }
+
+    /// Switch on runtime invariant auditing (idempotent). The [`Auditor`]
+    /// re-checks conservation and protocol invariants after every
+    /// encounter; enabling it never changes protocol behaviour.
+    pub fn enable_audit(&mut self) {
+        if self.audit.is_none() {
+            self.audit = Some(Auditor::new());
+        }
+    }
+
+    /// The auditor, when auditing is enabled.
+    pub fn auditor(&self) -> Option<&Auditor> {
+        self.audit.as_ref()
+    }
+
+    /// Violations recorded so far — empty when auditing is off or clean.
+    pub fn audit_violations(&self) -> &[String] {
+        self.audit.as_ref().map(Auditor::violations).unwrap_or(&[])
+    }
+
+    /// A mergeable snapshot of every protocol layer's counters plus this
+    /// system's wall-clock phase timings.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        Snapshot {
+            encounters: self.enc.clone(),
+            moderation: self.mc.counters().clone(),
+            votes: self.vs.counters().clone(),
+            voxpopuli: self.vs.vox_counters().clone(),
+            barter: self.bc.counters(),
+            pss: match &self.pss {
+                Pss::Newscast(n) => n.counters().clone(),
+                Pss::Oracle(_) => Default::default(),
+            },
+            phase_nanos: self.timer.phases().clone(),
         }
     }
 
@@ -313,10 +368,14 @@ impl System {
                 TraceEventKind::StartDownload { .. } => {}
             }
         }
+        self.timer.start("bittorrent");
         self.net.tick(self.now, &mut self.rng_bt);
+        self.timer.stop();
         self.update_crowd();
         if self.now >= self.next_gossip {
+            self.timer.start("gossip");
             self.gossip_round();
+            self.timer.stop();
             self.next_gossip = self.now + self.cfg.gossip_every;
         }
         self.now += self.cfg.net.tick;
@@ -352,7 +411,8 @@ impl System {
             for &m in &members {
                 self.mc.set_opinion(m, m0, LocalVote::Approve, self.now);
                 if let Some(target) = spec.demote {
-                    self.mc.set_opinion(m, target, LocalVote::Disapprove, self.now);
+                    self.mc
+                        .set_opinion(m, target, LocalVote::Disapprove, self.now);
                 }
             }
         }
@@ -386,28 +446,48 @@ impl System {
             if !self.is_online(i) {
                 continue;
             }
+            self.enc.attempted += 1;
             let Some(j) = self.pss.sample(i, &mut self.rng_pss) else {
+                self.enc.dropped_no_sample += 1;
                 continue;
             };
+            if i == j {
+                self.enc.dropped_self_target += 1;
+                continue;
+            }
             // Contacting an offline peer fails (stale PSS views).
-            if !self.is_online(j) || i == j {
+            if !self.is_online(j) {
+                self.enc.dropped_offline_target += 1;
                 continue;
             }
             // Failure injection: the whole encounter may be lost.
             if self.cfg.message_loss > 0.0 && self.rng_gossip.chance(self.cfg.message_loss) {
+                self.enc.dropped_message_loss += 1;
                 continue;
             }
             self.encounter(i, j);
+            self.enc.delivered += 1;
         }
         if self.adaptive.is_some() {
             self.observe_dispersion();
+        }
+        if let Some(aud) = &mut self.audit {
+            let e = &self.enc;
+            let now = self.now;
+            let accounted = e.delivered
+                + e.dropped_no_sample
+                + e.dropped_offline_target
+                + e.dropped_self_target
+                + e.dropped_message_loss;
+            aud.check(e.attempted == accounted, || {
+                format!("encounter conservation broken at {now}: {e:?}")
+            });
         }
     }
 
     fn publish_due_moderations(&mut self) {
         for (k, spec) in self.setup.moderators.clone().into_iter().enumerate() {
-            if !self.published[k] && spec.publish_at <= self.now && self.is_online(spec.moderator)
-            {
+            if !self.published[k] && spec.publish_at <= self.now && self.is_online(spec.moderator) {
                 self.mc.publish(
                     &self.registry,
                     spec.moderator,
@@ -449,6 +529,13 @@ impl System {
         // Vote sampling: experience computed before any merge.
         let e_i_accepts_j = self.experienced(i, j);
         let e_j_accepts_i = self.experienced(j, i);
+        // Audit pre-state: votes each side currently holds from the other.
+        let pre = self.audit.is_some().then(|| {
+            (
+                votes_from(self.vs.ballot(i), j),
+                votes_from(self.vs.ballot(j), i),
+            )
+        });
         let list_i = self.outgoing_vote_list(i);
         let list_j = self.outgoing_vote_list(j);
         self.vs
@@ -458,17 +545,85 @@ impl System {
 
         // VoxPopuli bootstrap: crowd members answer with fabricated lists;
         // honest nodes follow Fig 3c.
+        let mut vox_breach = false;
         if self.cfg.vox_enabled && !self.is_crowd(i) && self.vs.needs_bootstrap(i) {
-            let response = if self.is_crowd(j) {
+            if self.is_crowd(j) {
                 let crowd = self.crowd.as_ref().expect("crowd member implies crowd");
-                Some(crowd.topk_response(&[], self.cfg.votes.k))
+                let list = crowd.topk_response(&[], self.cfg.votes.k);
+                self.vs.deliver_external_topk(i, list);
             } else {
-                self.vs.topk_response(j)
-            };
-            if let Some(list) = response {
-                self.vs.deliver_topk(i, list);
+                let j_bootstrapping = self.vs.needs_bootstrap(j);
+                let answered = self.vs.vox_request(i, j);
+                vox_breach = answered && j_bootstrapping;
             }
         }
+
+        if let Some((pre_j_in_i, pre_i_in_j)) = pre {
+            self.audit_encounter(
+                i,
+                j,
+                (e_i_accepts_j, e_j_accepts_i),
+                (pre_j_in_i, pre_i_in_j),
+                vox_breach,
+            );
+        }
+    }
+
+    /// Post-encounter invariant checks (audit mode only): ballot bound,
+    /// experience gating, and VoxPopuli bootstrap honesty.
+    fn audit_encounter(
+        &mut self,
+        i: NodeId,
+        j: NodeId,
+        (e_i_accepts_j, e_j_accepts_i): (bool, bool),
+        (pre_j_in_i, pre_i_in_j): (usize, usize),
+        vox_breach: bool,
+    ) {
+        let b_max = self.cfg.votes.b_max;
+        let revalidate = self.cfg.votes.revalidate;
+        let now = self.now;
+        let post_j_in_i = votes_from(self.vs.ballot(i), j);
+        let post_i_in_j = votes_from(self.vs.ballot(j), i);
+        let uv_i = self.vs.ballot(i).unique_voters();
+        let uv_j = self.vs.ballot(j).unique_voters();
+        let aud = self.audit.as_mut().expect("caller checked audit is on");
+        aud.check(uv_i <= b_max, || {
+            format!("{i}'s ballot holds {uv_i} unique voters > B_max {b_max} at {now}")
+        });
+        aud.check(uv_j <= b_max, || {
+            format!("{j}'s ballot holds {uv_j} unique voters > B_max {b_max} at {now}")
+        });
+        // A rejected sender must not add votes: untouched without
+        // revalidation, shed entirely with it.
+        if !e_i_accepts_j {
+            let ok = if revalidate {
+                post_j_in_i == 0
+            } else {
+                post_j_in_i == pre_j_in_i
+            };
+            aud.check(ok, || {
+                format!(
+                    "inexperienced {j}'s votes in {i}'s ballot went \
+                     {pre_j_in_i} -> {post_j_in_i} at {now}"
+                )
+            });
+        }
+        if !e_j_accepts_i {
+            let ok = if revalidate {
+                post_i_in_j == 0
+            } else {
+                post_i_in_j == pre_i_in_j
+            };
+            aud.check(ok, || {
+                format!(
+                    "inexperienced {i}'s votes in {j}'s ballot went \
+                     {pre_i_in_j} -> {post_i_in_j} at {now}"
+                )
+            });
+        }
+        aud.check(!vox_breach, || {
+            format!("bootstrapping {j} answered {i}'s VoxPopuli request at {now}")
+        });
     }
 
     fn outgoing_vote_list(&mut self, node: NodeId) -> Vec<VoteEntry> {

@@ -270,7 +270,9 @@ mod tests {
             SimDuration::ZERO
         );
         assert_eq!(
-            SimDuration::from_millis(u64::MAX).saturating_mul(2).as_millis(),
+            SimDuration::from_millis(u64::MAX)
+                .saturating_mul(2)
+                .as_millis(),
             u64::MAX
         );
     }

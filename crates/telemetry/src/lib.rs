@@ -1,0 +1,400 @@
+//! Runtime telemetry for the vote-sampling stack.
+//!
+//! Every protocol layer owns a small block of plain `u64` counters (one cache
+//! line or less), incremented unconditionally on its hot path — an add is
+//! cheaper than a well-predicted branch, so there is no "compiled out" mode
+//! for counters. The only genuinely expensive instrument, wall-clock phase
+//! timing ([`PhaseTimer`]), is gated behind the global [`set_enabled`] flag
+//! because `Instant::now()` is a syscall-ish vDSO call that would show up in
+//! tight loops.
+//!
+//! [`Snapshot`] aggregates every layer's counters plus phase timings into one
+//! mergeable, JSON-exportable value. Merging is field-wise saturating
+//! addition, which makes it associative and commutative with
+//! `Snapshot::default()` as identity — the property the multi-threaded
+//! experiment harness relies on (aggregate of per-run snapshots is
+//! independent of thread scheduling), verified by proptests in this crate.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Global enable flag (gates timers only; counters are always on)
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable the expensive parts of telemetry (phase timers).
+/// Counter increments are unconditional — they cost a single add.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether phase timing is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Counter blocks, one per protocol layer
+// ---------------------------------------------------------------------------
+
+macro_rules! counter_block {
+    (
+        $(#[$doc:meta])*
+        pub struct $name:ident { $( $(#[$fdoc:meta])* pub $field:ident, )+ }
+    ) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+        pub struct $name {
+            $( $(#[$fdoc])* pub $field: u64, )+
+        }
+
+        impl $name {
+            /// Field-wise saturating add of `other` into `self`.
+            pub fn merge_from(&mut self, other: &Self) {
+                $( self.$field = self.$field.saturating_add(other.$field); )+
+            }
+
+            /// Sum of all fields (useful for "anything happened?" checks).
+            pub fn total(&self) -> u64 {
+                0u64 $( .saturating_add(self.$field) )+
+            }
+        }
+    };
+}
+
+counter_block! {
+    /// Encounter bookkeeping, owned by `scenario::System`. Conservation
+    /// invariant (checked by the [`Auditor`] consumer in `rvs-scenario`):
+    /// `attempted == delivered + dropped_no_sample + dropped_offline_target
+    ///  + dropped_self_target + dropped_message_loss`.
+    pub struct EncounterCounters {
+        /// Gossip initiations by online nodes (one per node per round).
+        pub attempted,
+        /// Encounters that actually executed the full exchange.
+        pub delivered,
+        /// Initiator's peer sampler returned no candidate.
+        pub dropped_no_sample,
+        /// Sampled partner was offline (stale PSS view).
+        pub dropped_offline_target,
+        /// Sampled partner was the initiator itself.
+        pub dropped_self_target,
+        /// Encounter lost to the configured message-loss rate.
+        pub dropped_message_loss,
+    }
+}
+
+counter_block! {
+    /// ModerationCast traffic, owned by `modcast::ModerationCast`.
+    pub struct ModerationCounters {
+        /// Moderations sent out during exchanges (push direction).
+        pub pushed,
+        /// Moderations received during exchanges (pull direction).
+        pub pulled,
+        /// Received moderations discarded by the local approval gate.
+        pub rejected_by_gate,
+        /// Signature checks performed on received moderations.
+        pub signature_verifies,
+        /// Signature checks that failed (forged/corrupt moderations).
+        pub signature_failures,
+    }
+}
+
+counter_block! {
+    /// Vote-list handling and ballot-box maintenance, owned by
+    /// `core::VoteSampling`.
+    pub struct VoteCounters {
+        /// Vote lists accepted from experienced peers and merged.
+        pub lists_accepted,
+        /// Vote lists refused because the sender looked inexperienced.
+        pub lists_rejected_inexperienced,
+        /// Individual votes written into ballot boxes.
+        pub votes_merged,
+        /// Ballot-box entries evicted to respect `B_max`.
+        pub ballot_evictions,
+    }
+}
+
+counter_block! {
+    /// VoxPopuli bootstrap traffic, owned by `core::VoteSampling`.
+    pub struct VoxPopuliCounters {
+        /// Top-k requests issued by bootstrapping nodes.
+        pub requests,
+        /// Non-empty top-k responses served.
+        pub responses,
+        /// Requests declined because the responder was itself bootstrapping.
+        pub declines_bootstrapping,
+    }
+}
+
+counter_block! {
+    /// BarterCast / experience-function work, owned by
+    /// `bartercast::BarterCast`.
+    pub struct BarterCounters {
+        /// Record-exchange encounters executed.
+        pub exchanges,
+        /// Bounded max-flow evaluations (the experience function's hot path).
+        pub maxflow_evaluations,
+    }
+}
+
+counter_block! {
+    /// Peer-sampling-service activity, owned by `pss::NewscastPss`.
+    pub struct PssCounters {
+        /// View exchanges completed between two online nodes.
+        pub exchanges,
+        /// Gossip attempts that hit an offline partner (stale view entry).
+        pub failed_contacts,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared atomic counter for `&self` hot paths
+// ---------------------------------------------------------------------------
+
+/// A relaxed atomic counter for instrumenting methods that take `&self`
+/// (e.g. `BarterCast::contribution_kib`). Relaxed ordering is fine: the
+/// value is only read when assembling snapshots.
+#[derive(Debug, Default)]
+pub struct SharedCounter(AtomicU64);
+
+impl SharedCounter {
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Clone for SharedCounter {
+    fn clone(&self) -> Self {
+        SharedCounter(AtomicU64::new(self.get()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+/// A point-in-time aggregate of every layer's counters plus phase timings.
+///
+/// `merge` is field-wise saturating addition (and key-wise addition for
+/// `phases`), so it is associative and commutative, with
+/// `Snapshot::default()` as the identity — snapshots from parallel runs can
+/// be folded in any order with identical results. Phase durations are stored
+/// as integer nanoseconds for exactly that reason: floating-point addition
+/// is not associative.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub encounters: EncounterCounters,
+    pub moderation: ModerationCounters,
+    pub votes: VoteCounters,
+    pub voxpopuli: VoxPopuliCounters,
+    pub barter: BarterCounters,
+    pub pss: PssCounters,
+    /// Wall-clock time per named phase, in nanoseconds.
+    pub phase_nanos: BTreeMap<String, u64>,
+}
+
+impl Snapshot {
+    /// Fold `other` into `self` (field-wise saturating addition).
+    pub fn merge(&mut self, other: &Snapshot) {
+        self.encounters.merge_from(&other.encounters);
+        self.moderation.merge_from(&other.moderation);
+        self.votes.merge_from(&other.votes);
+        self.voxpopuli.merge_from(&other.voxpopuli);
+        self.barter.merge_from(&other.barter);
+        self.pss.merge_from(&other.pss);
+        for (phase, nanos) in &other.phase_nanos {
+            let slot = self.phase_nanos.entry(phase.clone()).or_insert(0);
+            *slot = slot.saturating_add(*nanos);
+        }
+    }
+
+    /// `a.merged(b)` without mutating either operand.
+    pub fn merged(&self, other: &Snapshot) -> Snapshot {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// A copy with `phase_nanos` cleared. Counters are deterministic given
+    /// a seed; wall-clock phases are not. Experiments that compare or
+    /// byte-diff snapshots across runs use this projection.
+    pub fn counters_only(&self) -> Snapshot {
+        let mut out = self.clone();
+        out.phase_nanos.clear();
+        out
+    }
+
+    /// Total encounter drops across all drop reasons.
+    pub fn total_dropped(&self) -> u64 {
+        let e = &self.encounters;
+        e.dropped_no_sample
+            + e.dropped_offline_target
+            + e.dropped_self_target
+            + e.dropped_message_loss
+    }
+
+    /// Pretty JSON rendering of the snapshot.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialization cannot fail")
+    }
+
+    /// Compact JSON rendering (stable field order; byte-comparable).
+    pub fn to_json_compact(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization cannot fail")
+    }
+
+    /// Parse a snapshot back from JSON.
+    pub fn from_json(s: &str) -> Result<Snapshot, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase timer
+// ---------------------------------------------------------------------------
+
+/// Accumulating wall-clock timer for named phases.
+///
+/// `start`/`stop` are no-ops while telemetry is disabled ([`set_enabled`]),
+/// so profiling can be left threaded through hot code at zero cost.
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    accum: BTreeMap<String, u64>,
+    current: Option<(String, Instant)>,
+}
+
+impl PhaseTimer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin timing `phase`, ending any phase currently in flight.
+    pub fn start(&mut self, phase: &str) {
+        if !enabled() {
+            return;
+        }
+        self.stop();
+        self.current = Some((phase.to_string(), Instant::now()));
+    }
+
+    /// Stop the phase in flight (if any) and bank its elapsed time.
+    pub fn stop(&mut self) {
+        if let Some((phase, began)) = self.current.take() {
+            let nanos = u64::try_from(began.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let slot = self.accum.entry(phase).or_insert(0);
+            *slot = slot.saturating_add(nanos);
+        }
+    }
+
+    /// Time a closure under `phase` and return its result.
+    pub fn time<T>(&mut self, phase: &str, f: impl FnOnce() -> T) -> T {
+        if !enabled() {
+            return f();
+        }
+        let began = Instant::now();
+        let out = f();
+        let nanos = u64::try_from(began.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let slot = self.accum.entry(phase.to_string()).or_insert(0);
+        *slot = slot.saturating_add(nanos);
+        out
+    }
+
+    /// Banked phase durations so far (does not include a phase in flight).
+    pub fn phases(&self) -> &BTreeMap<String, u64> {
+        &self.accum
+    }
+
+    /// Move the banked durations into a snapshot's `phase_nanos`.
+    pub fn drain_into(&mut self, snapshot: &mut Snapshot) {
+        self.stop();
+        for (phase, nanos) in std::mem::take(&mut self.accum) {
+            let slot = snapshot.phase_nanos.entry(phase).or_insert(0);
+            *slot = slot.saturating_add(nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot(seed: u64) -> Snapshot {
+        let mut s = Snapshot::default();
+        s.encounters.attempted = seed;
+        s.encounters.delivered = seed / 2;
+        s.votes.votes_merged = seed * 3;
+        s.phase_nanos.insert("gossip".to_string(), seed * 7);
+        s
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample_snapshot(10);
+        a.merge(&sample_snapshot(5));
+        assert_eq!(a.encounters.attempted, 15);
+        assert_eq!(a.votes.votes_merged, 45);
+        assert_eq!(a.phase_nanos["gossip"], 105);
+    }
+
+    #[test]
+    fn identity_is_default() {
+        let a = sample_snapshot(42);
+        assert_eq!(a.merged(&Snapshot::default()), a);
+        assert_eq!(Snapshot::default().merged(&a), a);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let a = sample_snapshot(9);
+        let back = Snapshot::from_json(&a.to_json()).unwrap();
+        assert_eq!(back, a);
+        let back2 = Snapshot::from_json(&a.to_json_compact()).unwrap();
+        assert_eq!(back2, a);
+    }
+
+    #[test]
+    fn shared_counter_counts() {
+        let c = SharedCounter::default();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.clone().get(), 5);
+    }
+
+    #[test]
+    fn phase_timer_respects_enable_flag() {
+        // Note: tests in this crate run in one process; restore the flag.
+        set_enabled(false);
+        let mut t = PhaseTimer::new();
+        t.start("x");
+        t.stop();
+        assert!(t.phases().is_empty());
+        set_enabled(true);
+        let y = t.time("y", || 21 * 2);
+        assert_eq!(y, 42);
+        assert!(t.phases().contains_key("y"));
+    }
+
+    #[test]
+    fn drain_moves_phases() {
+        let mut t = PhaseTimer::new();
+        t.time("a", || std::hint::black_box(1 + 1));
+        let mut s = Snapshot::default();
+        t.drain_into(&mut s);
+        assert!(s.phase_nanos.contains_key("a"));
+        assert!(t.phases().is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Algebraic properties of [`Snapshot::merge`]: associative, commutative,
+//! with `Snapshot::default()` as identity. The parallel experiment harness
+//! folds per-run snapshots in whatever order threads finish, so these
+//! properties are what make the aggregate independent of scheduling.
+//! Field values range over all of `u64` — saturating addition keeps the
+//! algebra intact even at the overflow boundary.
+
+use proptest::prelude::*;
+use rvs_telemetry::Snapshot;
+use std::collections::BTreeMap;
+
+/// Deserialize a snapshot from 22 raw counter values (6 encounter + 5
+/// moderation + 4 vote + 3 voxpopuli + 2 barter + 2 pss) plus a phase map.
+fn snapshot_from(vals: &[u64], phases: BTreeMap<u8, u64>) -> Snapshot {
+    assert_eq!(vals.len(), 22);
+    let mut s = Snapshot::default();
+    let e = &mut s.encounters;
+    [
+        &mut e.attempted,
+        &mut e.delivered,
+        &mut e.dropped_no_sample,
+        &mut e.dropped_offline_target,
+        &mut e.dropped_self_target,
+        &mut e.dropped_message_loss,
+    ]
+    .into_iter()
+    .zip(&vals[0..6])
+    .for_each(|(slot, &v)| *slot = v);
+    let m = &mut s.moderation;
+    [
+        &mut m.pushed,
+        &mut m.pulled,
+        &mut m.rejected_by_gate,
+        &mut m.signature_verifies,
+        &mut m.signature_failures,
+    ]
+    .into_iter()
+    .zip(&vals[6..11])
+    .for_each(|(slot, &v)| *slot = v);
+    let v4 = &mut s.votes;
+    [
+        &mut v4.lists_accepted,
+        &mut v4.lists_rejected_inexperienced,
+        &mut v4.votes_merged,
+        &mut v4.ballot_evictions,
+    ]
+    .into_iter()
+    .zip(&vals[11..15])
+    .for_each(|(slot, &v)| *slot = v);
+    let x = &mut s.voxpopuli;
+    [
+        &mut x.requests,
+        &mut x.responses,
+        &mut x.declines_bootstrapping,
+    ]
+    .into_iter()
+    .zip(&vals[15..18])
+    .for_each(|(slot, &v)| *slot = v);
+    s.barter.exchanges = vals[18];
+    s.barter.maxflow_evaluations = vals[19];
+    s.pss.exchanges = vals[20];
+    s.pss.failed_contacts = vals[21];
+    for (k, nanos) in phases {
+        s.phase_nanos.insert(format!("phase{k}"), nanos);
+    }
+    s
+}
+
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        prop::collection::vec(any::<u64>(), 22..23),
+        prop::collection::btree_map(0u8..5, any::<u64>(), 0..4),
+    )
+        .prop_map(|(vals, phases)| snapshot_from(&vals, phases))
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in arb_snapshot(), b in arb_snapshot()) {
+        prop_assert_eq!(a.merged(&b), b.merged(&a));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in arb_snapshot(),
+        b in arb_snapshot(),
+        c in arb_snapshot(),
+    ) {
+        prop_assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+    }
+
+    #[test]
+    fn default_is_identity(a in arb_snapshot()) {
+        prop_assert_eq!(a.merged(&Snapshot::default()), a.clone());
+        prop_assert_eq!(Snapshot::default().merged(&a), a);
+    }
+
+    #[test]
+    fn json_roundtrips_exactly(a in arb_snapshot()) {
+        prop_assert_eq!(Snapshot::from_json(&a.to_json()).unwrap(), a.clone());
+        prop_assert_eq!(Snapshot::from_json(&a.to_json_compact()).unwrap(), a);
+    }
+
+    #[test]
+    fn counters_only_strips_exactly_the_phases(a in arb_snapshot()) {
+        let c = a.counters_only();
+        prop_assert!(c.phase_nanos.is_empty());
+        prop_assert_eq!(c.encounters, a.encounters);
+        prop_assert_eq!(c.moderation, a.moderation);
+        prop_assert_eq!(c.votes, a.votes);
+        prop_assert_eq!(c.voxpopuli, a.voxpopuli);
+        prop_assert_eq!(c.barter, a.barter);
+        prop_assert_eq!(c.pss, a.pss);
+    }
+}

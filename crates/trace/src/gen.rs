@@ -120,8 +120,7 @@ impl TraceGenConfig {
         let peers = self.gen_profiles(&mut rng_profiles);
         let swarms = self.gen_swarms(&peers, &mut rng_swarms);
         let mut events = Vec::with_capacity(self.n_peers * 64);
-        let rare_cutoff =
-            (self.n_peers as f64 * self.rarely_online_fraction).round() as usize;
+        let rare_cutoff = (self.n_peers as f64 * self.rarely_online_fraction).round() as usize;
         for (idx, p) in peers.iter().enumerate() {
             // Peers are assigned "rarely online" by index after profile
             // shuffling, so the set is random but reproducible.
@@ -205,8 +204,7 @@ impl TraceGenConfig {
                 // Swarms exist early: the tracker listed them before the
                 // monitoring window started (creation within the first ~2%
                 // of the trace, i.e. a few hours of a 7-day span).
-                let created =
-                    SimTime::from_millis(rng.below(self.duration.as_millis() / 48 + 1));
+                let created = SimTime::from_millis(rng.below(self.duration.as_millis() / 48 + 1));
                 SwarmSpec {
                     id: SwarmId::from_index(i),
                     created,
@@ -241,9 +239,7 @@ impl TraceGenConfig {
         let mut t = p.arrival;
         // Rarely-online peers may also start with a long initial delay.
         if rarely_online {
-            t = t.saturating_add(SimDuration::from_millis(
-                rng.pareto(gap_scale, alpha) as u64
-            ));
+            t = t.saturating_add(SimDuration::from_millis(rng.pareto(gap_scale, alpha) as u64));
         }
         let mut online = false;
         while t < end {
@@ -435,8 +431,7 @@ mod tests {
         let cfg = TraceGenConfig::filelist_like();
         let t = cfg.generate(9);
         let order = t.arrival_order();
-        let founders: std::collections::HashSet<_> =
-            order.iter().take(cfg.founder_count).collect();
+        let founders: std::collections::HashSet<_> = order.iter().take(cfg.founder_count).collect();
         for s in &t.swarms {
             assert!(
                 founders.contains(&s.initial_seeder),

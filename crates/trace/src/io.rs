@@ -105,10 +105,7 @@ mod tests {
 
     #[test]
     fn malformed_json_rejected() {
-        assert!(matches!(
-            from_json("{not json"),
-            Err(TraceIoError::Json(_))
-        ));
+        assert!(matches!(from_json("{not json"), Err(TraceIoError::Json(_))));
     }
 
     #[test]

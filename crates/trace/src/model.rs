@@ -325,7 +325,10 @@ mod tests {
         t.events[0].peer = NodeId(99);
         assert!(matches!(
             t.validate(),
-            Err(TraceError::UnknownPeer { peer: NodeId(99), .. })
+            Err(TraceError::UnknownPeer {
+                peer: NodeId(99),
+                ..
+            })
         ));
     }
 
@@ -335,7 +338,10 @@ mod tests {
         t.events[2].kind = TraceEventKind::StartDownload { swarm: SwarmId(7) };
         assert!(matches!(
             t.validate(),
-            Err(TraceError::UnknownSwarm { swarm: SwarmId(7), .. })
+            Err(TraceError::UnknownSwarm {
+                swarm: SwarmId(7),
+                ..
+            })
         ));
     }
 

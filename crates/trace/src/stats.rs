@@ -43,8 +43,7 @@ impl TraceStats {
 
         let online = trace.online_time_per_peer();
         let total_online_ms: u64 = online.iter().map(|d| d.as_millis()).sum();
-        let avg_online_fraction =
-            total_online_ms as f64 / (n as u64 * duration_ms) as f64;
+        let avg_online_fraction = total_online_ms as f64 / (n as u64 * duration_ms) as f64;
         let rarely_online_peers = online
             .iter()
             .filter(|d| (d.as_millis() as f64 / duration_ms as f64) < 0.10)
@@ -91,8 +90,7 @@ impl TraceStats {
         let sum_usize = |f: fn(&TraceStats) -> usize| -> usize {
             (stats.iter().map(|s| f(s) as f64).sum::<f64>() / k).round() as usize
         };
-        let sum_f64 =
-            |f: fn(&TraceStats) -> f64| -> f64 { stats.iter().map(f).sum::<f64>() / k };
+        let sum_f64 = |f: fn(&TraceStats) -> f64| -> f64 { stats.iter().map(f).sum::<f64>() / k };
         TraceStats {
             unique_peers: sum_usize(|s| s.unique_peers),
             swarm_count: sum_usize(|s| s.swarm_count),
@@ -130,7 +128,11 @@ impl fmt::Display for TraceStats {
             "connectable fraction    {:>10.3}",
             self.connectable_fraction
         )?;
-        writeln!(f, "mean session (min)      {:>10.1}", self.mean_session_mins)?;
+        writeln!(
+            f,
+            "mean session (min)      {:>10.1}",
+            self.mean_session_mins
+        )?;
         writeln!(
             f,
             "sessions per peer       {:>10.1}",
@@ -175,16 +177,8 @@ mod tests {
             .collect();
         let mean = TraceStats::mean_over(&stats);
         assert_eq!(mean.unique_peers, 10);
-        let lo = stats
-            .iter()
-            .map(|s| s.event_count)
-            .min()
-            .unwrap();
-        let hi = stats
-            .iter()
-            .map(|s| s.event_count)
-            .max()
-            .unwrap();
+        let lo = stats.iter().map(|s| s.event_count).min().unwrap();
+        let hi = stats.iter().map(|s| s.event_count).max().unwrap();
         assert!(mean.event_count >= lo && mean.event_count <= hi);
     }
 

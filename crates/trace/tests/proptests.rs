@@ -7,14 +7,14 @@ use rvs_trace::{TraceGenConfig, TraceStats};
 
 fn arb_config() -> impl Strategy<Value = TraceGenConfig> {
     (
-        2usize..40,          // n_peers
-        1u64..72,            // duration hours
-        0usize..10,          // founder_count (may exceed peers; clamped)
-        5u64..120,           // mean session minutes
-        5u64..120,           // mean gap minutes
-        1usize..6,           // swarms
-        0.0f64..0.9,         // free rider fraction
-        0.0f64..1.0,         // connectable fraction
+        2usize..40,  // n_peers
+        1u64..72,    // duration hours
+        0usize..10,  // founder_count (may exceed peers; clamped)
+        5u64..120,   // mean session minutes
+        5u64..120,   // mean gap minutes
+        1usize..6,   // swarms
+        0.0f64..0.9, // free rider fraction
+        0.0f64..1.0, // connectable fraction
     )
         .prop_map(
             |(n, hours, founders, sess, gap, swarms, fr, conn)| TraceGenConfig {

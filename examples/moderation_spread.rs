@@ -33,13 +33,29 @@ fn main() {
     let unknown = NodeId(1);
     let shunned = NodeId(2);
     for m in [popular, unknown, shunned] {
-        mc.publish(&registry, m, SwarmId(0), ContentQuality::Genuine, SimTime::ZERO);
+        mc.publish(
+            &registry,
+            m,
+            SwarmId(0),
+            ContentQuality::Genuine,
+            SimTime::ZERO,
+        );
     }
     // Half the population has an opinion: approve `popular`, disapprove
     // `shunned`; `unknown` has no votes at all.
     for i in 3..(3 + N / 2) {
-        mc.set_opinion(NodeId::from_index(i), popular, LocalVote::Approve, SimTime::ZERO);
-        mc.set_opinion(NodeId::from_index(i), shunned, LocalVote::Disapprove, SimTime::ZERO);
+        mc.set_opinion(
+            NodeId::from_index(i),
+            popular,
+            LocalVote::Approve,
+            SimTime::ZERO,
+        );
+        mc.set_opinion(
+            NodeId::from_index(i),
+            shunned,
+            LocalVote::Disapprove,
+            SimTime::ZERO,
+        );
     }
 
     println!("ModerationCast coverage (nodes holding each moderator's item):\n");
@@ -53,7 +69,13 @@ fn main() {
         for i in 0..N {
             let j = rng.index(N);
             if i != j {
-                mc.exchange(&registry, NodeId::from_index(i), NodeId::from_index(j), now, &mut rng);
+                mc.exchange(
+                    &registry,
+                    NodeId::from_index(i),
+                    NodeId::from_index(j),
+                    now,
+                    &mut rng,
+                );
             }
         }
         println!(
@@ -65,7 +87,11 @@ fn main() {
         );
     }
 
-    let (p, u, s) = (mc.coverage(popular), mc.coverage(unknown), mc.coverage(shunned));
+    let (p, u, s) = (
+        mc.coverage(popular),
+        mc.coverage(unknown),
+        mc.coverage(shunned),
+    );
     println!();
     println!("popular (approved) moderator reached {p}/{N} nodes");
     println!("unknown (unvoted) moderator reached {u}/{N} nodes — direct contact only");

@@ -23,7 +23,11 @@ fn main() {
     };
     let mut system = System::new(trace, protocol, setup, 8);
     println!("running 30 simulated hours of the full stack…\n");
-    system.run_until(SimTime::from_hours(30), SimDuration::from_hours(30), |_, _| {});
+    system.run_until(
+        SimTime::from_hours(30),
+        SimDuration::from_hours(30),
+        |_, _| {},
+    );
 
     // Pick the node with the largest ballot sample as "our" client.
     let observer = (0..system.trace_peer_count())

@@ -20,7 +20,8 @@ fn main() {
         cfg.duration.as_secs() / 3600,
         cfg.runs
     );
-    println!("  protocol: B_min={}, B_max={}, V_max={}, K={}, T={} MiB",
+    println!(
+        "  protocol: B_min={}, B_max={}, V_max={}, K={}, T={} MiB",
         cfg.protocol.votes.b_min,
         cfg.protocol.votes.b_max,
         cfg.protocol.votes.v_max,

@@ -29,7 +29,10 @@ fn main() {
     let loaded = io::load(&path).expect("trace loads and validates");
     assert_eq!(trace, loaded, "JSON round-trip must be lossless");
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-    println!("\nsaved + reloaded losslessly: {} ({bytes} bytes)", path.display());
+    println!(
+        "\nsaved + reloaded losslessly: {} ({bytes} bytes)",
+        path.display()
+    );
 
     // Arrival structure: the first three arrivals are the Figure 6
     // moderators; founders seed the swarms.
@@ -41,7 +44,11 @@ fn main() {
             "  M{} = {id}: arrives {:.2} h, {}, uplink {} KiB/s",
             k + 1,
             p.arrival.as_hours_f64(),
-            if p.free_rider { "free-rider" } else { "altruist" },
+            if p.free_rider {
+                "free-rider"
+            } else {
+                "altruist"
+            },
             p.uplink_kibps
         );
     }

@@ -18,6 +18,7 @@ use robust_vote_sampling::scenario::experiments::spam::fig8_setup;
 use robust_vote_sampling::scenario::experiments::vote_sampling::fig6_setup;
 use robust_vote_sampling::scenario::{ProtocolConfig, System};
 use robust_vote_sampling::sim::{NodeId, SimDuration, SimTime};
+use robust_vote_sampling::telemetry;
 use robust_vote_sampling::trace::{io, TraceGenConfig, TraceStats};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -54,10 +55,15 @@ USAGE:
     rvs stats  [--seed N] [--traces N]
         dataset statistics over N traces (the paper's §VI summary)
     rvs run    [--seed N] [--peers N] [--hours N] [--t-mib X] [--loss X]
+               [--telemetry FILE|-]
         full-stack Figure 6 scenario; prints the accuracy curve and the
         best-informed node's moderator board
     rvs attack [--seed N] [--peers N] [--core N] [--crowd N] [--hours N]
-        Figure 8 flash-crowd scenario; prints the pollution curve";
+               [--telemetry FILE|-]
+        Figure 8 flash-crowd scenario; prints the pollution curve
+
+    --telemetry dumps a JSON snapshot of the per-protocol counters (and
+    wall-clock phase timings) to FILE, or to stdout when FILE is `-`.";
 
 fn parse_flags(rest: &[String]) -> BTreeMap<String, String> {
     let mut flags = BTreeMap::new();
@@ -77,6 +83,25 @@ fn get<T: std::str::FromStr>(flags: &BTreeMap<String, String>, key: &str, defaul
         .get(key)
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Honour `--telemetry FILE|-`: dump the system's counter snapshot as JSON
+/// to FILE (stdout when `-`). Call `telemetry::set_enabled(true)` *before*
+/// the run so the wall-clock phase timers populate too.
+fn dump_telemetry(system: &System, flags: &BTreeMap<String, String>) -> Result<(), ExitCode> {
+    let Some(dest) = flags.get("telemetry") else {
+        return Ok(());
+    };
+    let json = system.telemetry_snapshot().to_json();
+    if dest == "-" {
+        println!("{json}");
+    } else if let Err(e) = std::fs::write(dest, json + "\n") {
+        eprintln!("failed to write telemetry to {dest}: {e}");
+        return Err(ExitCode::FAILURE);
+    } else {
+        println!("\ntelemetry snapshot written to {dest}");
+    }
+    Ok(())
 }
 
 fn trace_cfg(flags: &BTreeMap<String, String>) -> TraceGenConfig {
@@ -134,6 +159,9 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
         message_loss: get(&flags, "loss", 0.0),
         ..ProtocolConfig::default()
     };
+    if flags.contains_key("telemetry") {
+        telemetry::set_enabled(true);
+    }
     let mut system = System::new(trace, protocol, setup, seed);
     let mut series = TimeSeries::new("accuracy");
     system.run_until(
@@ -152,6 +180,9 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
         "{}",
         ModeratorBoard::from_ballot(system.votes().ballot(observer), 5)
     );
+    if let Err(code) = dump_telemetry(&system, &flags) {
+        return code;
+    }
     ExitCode::SUCCESS
 }
 
@@ -175,6 +206,9 @@ fn cmd_attack(flags: &BTreeMap<String, String>) -> ExitCode {
         experience_t_mib: get(&flags, "t-mib", 5.0),
         ..ProtocolConfig::default()
     };
+    if flags.contains_key("telemetry") {
+        telemetry::set_enabled(true);
+    }
     let mut system = System::new(trace, protocol, setup, seed);
     let mut series = TimeSeries::new(format!("crowd={crowd}/core={core}"));
     system.run_until(
@@ -184,5 +218,8 @@ fn cmd_attack(flags: &BTreeMap<String, String>) -> ExitCode {
     );
     println!("proportion of newly arrived honest nodes ranking spam top:");
     print!("{}", TimeSeries::render_table(&[&series]));
+    if let Err(code) = dump_telemetry(&system, &flags) {
+        return code;
+    }
     ExitCode::SUCCESS
 }

@@ -22,6 +22,7 @@
 //! * [`core`] — BallotBox / VoxPopuli vote sampling and ranking.
 //! * [`attacks`] — flash crowds, Sybils, moles, lying aggregation.
 //! * [`metrics`] — CEV, ordering accuracy, pollution, series statistics.
+//! * [`telemetry`] — per-protocol counters, mergeable snapshots, timers.
 //! * [`scenario`] — full-system wiring reproducing the paper's figures.
 //!
 //! ## Quickstart
@@ -46,6 +47,7 @@ pub use rvs_modcast as modcast;
 pub use rvs_pss as pss;
 pub use rvs_scenario as scenario;
 pub use rvs_sim as sim;
+pub use rvs_telemetry as telemetry;
 pub use rvs_trace as trace;
 
 /// Workspace version string.

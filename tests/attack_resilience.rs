@@ -6,6 +6,17 @@ use robust_vote_sampling::scenario::{ProtocolConfig, System};
 use rvs_sim::{NodeId, SimDuration, SimTime};
 use rvs_trace::TraceGenConfig;
 
+/// Assert the run's invariant auditor saw checks and no violations.
+fn assert_clean_audit(system: &System) {
+    let auditor = system.auditor().expect("audit enabled");
+    assert!(auditor.checks() > 0, "auditor performed no checks");
+    assert_eq!(
+        system.audit_violations(),
+        &[] as &[String],
+        "invariant violations detected"
+    );
+}
+
 fn attack_system(crowd_size: usize, seed: u64) -> (System, NodeId, Vec<NodeId>) {
     let trace = TraceGenConfig::quick(30, SimDuration::from_hours(24)).generate(seed);
     let setup = fig8_setup(&trace, 8, crowd_size);
@@ -15,27 +26,38 @@ fn attack_system(crowd_size: usize, seed: u64) -> (System, NodeId, Vec<NodeId>) 
         experience_t_mib: 1.0,
         ..ProtocolConfig::default()
     };
-    (System::new(trace, protocol, setup, seed), spam, core)
+    let mut system = System::new(trace, protocol, setup, seed);
+    system.enable_audit();
+    (system, spam, core)
 }
 
 #[test]
 fn experienced_core_is_never_polluted() {
     let (mut system, spam, core) = attack_system(16, 23);
     let mut core_clean = true;
-    system.run_until(SimTime::from_hours(24), SimDuration::from_hours(2), |sys, _| {
-        for &c in &core {
-            if sys.display_ranking(c).first() == Some(&spam) {
-                core_clean = false;
+    system.run_until(
+        SimTime::from_hours(24),
+        SimDuration::from_hours(2),
+        |sys, _| {
+            for &c in &core {
+                if sys.display_ranking(c).first() == Some(&spam) {
+                    core_clean = false;
+                }
             }
-        }
-    });
+        },
+    );
     assert!(core_clean, "the flash crowd must never poison the core");
+    assert_clean_audit(&system);
 }
 
 #[test]
 fn crowd_votes_never_enter_honest_ballots() {
     let (mut system, _, _) = attack_system(16, 29);
-    system.run_until(SimTime::from_hours(24), SimDuration::from_hours(24), |_, _| {});
+    system.run_until(
+        SimTime::from_hours(24),
+        SimDuration::from_hours(24),
+        |_, _| {},
+    );
     let crowd: Vec<NodeId> = system.crowd().unwrap().members().collect();
     for i in 0..system.trace_peer_count() {
         let ballot = system.votes().ballot(NodeId::from_index(i));
@@ -47,12 +69,17 @@ fn crowd_votes_never_enter_honest_ballots() {
             );
         }
     }
+    assert_clean_audit(&system);
 }
 
 #[test]
 fn crowd_members_are_never_experienced() {
     let (mut system, _, _) = attack_system(12, 31);
-    system.run_until(SimTime::from_hours(24), SimDuration::from_hours(24), |_, _| {});
+    system.run_until(
+        SimTime::from_hours(24),
+        SimDuration::from_hours(24),
+        |_, _| {},
+    );
     let crowd: Vec<NodeId> = system.crowd().unwrap().members().collect();
     for i in 0..system.trace_peer_count() {
         for &c in &crowd {
@@ -62,15 +89,20 @@ fn crowd_members_are_never_experienced() {
             );
         }
     }
+    assert_clean_audit(&system);
 }
 
 #[test]
 fn pollution_eventually_recovers() {
     let (mut system, spam, _) = attack_system(16, 37);
     let mut series = Vec::new();
-    system.run_until(SimTime::from_hours(24), SimDuration::from_hours(2), |sys, t| {
-        series.push((t, sys.new_node_pollution(spam)));
-    });
+    system.run_until(
+        SimTime::from_hours(24),
+        SimDuration::from_hours(2),
+        |sys, t| {
+            series.push((t, sys.new_node_pollution(spam)));
+        },
+    );
     let peak = series.iter().map(|&(_, v)| v).fold(0.0_f64, f64::max);
     let final_v = series.last().unwrap().1;
     assert!(
@@ -81,6 +113,7 @@ fn pollution_eventually_recovers() {
         final_v < 0.5,
         "most nodes should have recovered by 24h, final pollution {final_v}"
     );
+    assert_clean_audit(&system);
 }
 
 #[test]
@@ -94,12 +127,18 @@ fn disabling_voxpopuli_blocks_the_attack_entirely() {
         ..ProtocolConfig::default()
     };
     let mut system = System::new(trace, protocol, setup, 41);
+    system.enable_audit();
     let mut max_pollution = 0.0_f64;
-    system.run_until(SimTime::from_hours(24), SimDuration::from_hours(2), |sys, _| {
-        max_pollution = max_pollution.max(sys.new_node_pollution(spam));
-    });
+    system.run_until(
+        SimTime::from_hours(24),
+        SimDuration::from_hours(2),
+        |sys, _| {
+            max_pollution = max_pollution.max(sys.new_node_pollution(spam));
+        },
+    );
     assert_eq!(
         max_pollution, 0.0,
         "without VoxPopuli the crowd has no channel into honest nodes"
     );
+    assert_clean_audit(&system);
 }

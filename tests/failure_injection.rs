@@ -6,6 +6,17 @@ use robust_vote_sampling::scenario::{ProtocolConfig, System};
 use rvs_sim::{SimDuration, SimTime};
 use rvs_trace::TraceGenConfig;
 
+/// Assert the run's invariant auditor saw checks and no violations.
+fn assert_clean_audit(system: &System) {
+    let auditor = system.auditor().expect("audit enabled");
+    assert!(auditor.checks() > 0, "auditor performed no checks");
+    assert_eq!(
+        system.audit_violations(),
+        &[] as &[String],
+        "invariant violations detected"
+    );
+}
+
 fn accuracy_with_loss(loss: f64, seed: u64) -> f64 {
     let trace = TraceGenConfig::quick(24, SimDuration::from_hours(36)).generate(seed);
     let (setup, m) = fig6_setup(&trace, 0.25, 0.25, seed);
@@ -15,7 +26,13 @@ fn accuracy_with_loss(loss: f64, seed: u64) -> f64 {
         ..ProtocolConfig::default()
     };
     let mut system = System::new(trace, protocol, setup, seed);
-    system.run_until(SimTime::from_hours(36), SimDuration::from_hours(36), |_, _| {});
+    system.enable_audit();
+    system.run_until(
+        SimTime::from_hours(36),
+        SimDuration::from_hours(36),
+        |_, _| {},
+    );
+    assert_clean_audit(&system);
     system.ordering_accuracy(&m)
 }
 
@@ -52,16 +69,63 @@ fn total_loss_means_no_ballots_at_all() {
         ..ProtocolConfig::default()
     };
     let mut system = System::new(trace, protocol, setup, 57);
-    system.run_until(SimTime::from_hours(12), SimDuration::from_hours(12), |_, _| {});
+    system.enable_audit();
+    system.run_until(
+        SimTime::from_hours(12),
+        SimDuration::from_hours(12),
+        |_, _| {},
+    );
     for i in 0..system.trace_peer_count() {
         assert!(system
             .votes()
             .ballot(rvs_sim::NodeId::from_index(i))
             .is_empty());
     }
+    assert_clean_audit(&system);
 }
 
 #[test]
 fn loss_injection_is_deterministic() {
     assert_eq!(accuracy_with_loss(0.3, 59), accuracy_with_loss(0.3, 59));
+}
+
+#[test]
+fn churn_with_stale_pss_conserves_every_encounter() {
+    // Gossip PSS + 30% message loss: views go stale, partners churn
+    // offline, sends get dropped. The telemetry must account for every
+    // initiated encounter exactly once, and message loss must actually
+    // trigger (the loss knob is real, not dead configuration).
+    let trace = TraceGenConfig::quick(24, SimDuration::from_hours(30)).generate(61);
+    let (setup, _) = fig6_setup(&trace, 0.25, 0.25, 61);
+    let protocol = ProtocolConfig {
+        experience_t_mib: 1.0,
+        message_loss: 0.3,
+        use_newscast_pss: true,
+        ..ProtocolConfig::default()
+    };
+    let mut system = System::new(trace, protocol, setup, 61);
+    system.enable_audit();
+    system.run_until(
+        SimTime::from_hours(30),
+        SimDuration::from_hours(30),
+        |_, _| {},
+    );
+    assert_clean_audit(&system);
+
+    let snap = system.telemetry_snapshot();
+    let e = &snap.encounters;
+    assert!(e.attempted > 0, "no encounters were ever attempted");
+    assert_eq!(
+        e.attempted,
+        e.delivered + snap.total_dropped(),
+        "conservation: every attempt is delivered or dropped exactly once: {e:?}"
+    );
+    assert!(
+        e.dropped_message_loss > 0,
+        "30% loss over 30h must drop at least one encounter"
+    );
+    assert!(
+        snap.pss.exchanges > 0,
+        "the gossip PSS must have completed exchanges"
+    );
 }

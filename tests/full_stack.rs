@@ -12,14 +12,33 @@ fn quick_protocol() -> ProtocolConfig {
     }
 }
 
+/// Every integration run doubles as an invariant audit: conservation of
+/// encounters, the `B_max` ballot bound, experience gating, and VoxPopuli
+/// bootstrap honesty are re-checked after every round and encounter.
+fn assert_clean_audit(system: &System) {
+    let auditor = system.auditor().expect("audit enabled");
+    assert!(auditor.checks() > 0, "auditor performed no checks");
+    assert_eq!(
+        system.audit_violations(),
+        &[] as &[String],
+        "invariant violations detected"
+    );
+}
+
 #[test]
 fn population_converges_on_correct_ordering() {
     let trace = TraceGenConfig::quick(24, SimDuration::from_hours(36)).generate(11);
     let (setup, m) = fig6_setup(&trace, 0.25, 0.25, 11);
     let mut system = System::new(trace, quick_protocol(), setup, 11);
-    system.run_until(SimTime::from_hours(36), SimDuration::from_hours(36), |_, _| {});
+    system.enable_audit();
+    system.run_until(
+        SimTime::from_hours(36),
+        SimDuration::from_hours(36),
+        |_, _| {},
+    );
     let acc = system.ordering_accuracy(&m);
     assert!(acc > 0.6, "population should converge, accuracy {acc}");
+    assert_clean_audit(&system);
 }
 
 #[test]
@@ -28,10 +47,16 @@ fn full_system_run_is_deterministic() {
         let trace = TraceGenConfig::quick(16, SimDuration::from_hours(12)).generate(3);
         let (setup, m) = fig6_setup(&trace, 0.25, 0.25, 3);
         let mut system = System::new(trace, quick_protocol(), setup, 3);
+        system.enable_audit();
         let mut curve = Vec::new();
-        system.run_until(SimTime::from_hours(12), SimDuration::from_hours(2), |sys, t| {
-            curve.push((t, sys.ordering_accuracy(&m)));
-        });
+        system.run_until(
+            SimTime::from_hours(12),
+            SimDuration::from_hours(2),
+            |sys, t| {
+                curve.push((t, sys.ordering_accuracy(&m)));
+            },
+        );
+        assert_clean_audit(&system);
         (curve, system.net().ledger().total_kib())
     };
     assert_eq!(run(), run());
@@ -41,7 +66,12 @@ fn full_system_run_is_deterministic() {
 fn experience_requires_contribution() {
     let trace = TraceGenConfig::quick(16, SimDuration::from_hours(12)).generate(5);
     let mut system = System::new(trace, quick_protocol(), ScenarioSetup::default(), 5);
-    system.run_until(SimTime::from_hours(12), SimDuration::from_hours(12), |_, _| {});
+    system.enable_audit();
+    system.run_until(
+        SimTime::from_hours(12),
+        SimDuration::from_hours(12),
+        |_, _| {},
+    );
     let n = system.trace_peer_count();
     // Experience must follow actual BarterCast contributions: E_i(j) holds
     // exactly when f_{j→i} >= T.
@@ -64,20 +94,25 @@ fn experience_requires_contribution() {
         experienced_pairs > 0,
         "after 12h of swarming some experience must exist"
     );
+    assert_clean_audit(&system);
 }
 
 #[test]
 fn cev_matches_manual_computation() {
     let trace = TraceGenConfig::quick(12, SimDuration::from_hours(8)).generate(7);
     let mut system = System::new(trace, quick_protocol(), ScenarioSetup::default(), 7);
-    system.run_until(SimTime::from_hours(8), SimDuration::from_hours(8), |_, _| {});
+    system.enable_audit();
+    system.run_until(
+        SimTime::from_hours(8),
+        SimDuration::from_hours(8),
+        |_, _| {},
+    );
     let n = system.trace_peer_count();
     let t = 1.0;
     let mut count = 0usize;
     for i in 0..n {
         for j in 0..n {
-            if i != j
-                && system.contribution_mib(NodeId::from_index(i), NodeId::from_index(j)) >= t
+            if i != j && system.contribution_mib(NodeId::from_index(i), NodeId::from_index(j)) >= t
             {
                 count += 1;
             }
@@ -85,6 +120,7 @@ fn cev_matches_manual_computation() {
     }
     let expected = count as f64 / (n * (n - 1)) as f64;
     assert!((system.cev(t) - expected).abs() < 1e-12);
+    assert_clean_audit(&system);
 }
 
 #[test]
@@ -92,14 +128,23 @@ fn moderations_disseminate_through_full_stack() {
     let trace = TraceGenConfig::quick(20, SimDuration::from_hours(24)).generate(13);
     let (setup, m) = fig6_setup(&trace, 0.25, 0.25, 13);
     let mut system = System::new(trace, quick_protocol(), setup, 13);
-    system.run_until(SimTime::from_hours(24), SimDuration::from_hours(24), |_, _| {});
+    system.enable_audit();
+    system.run_until(
+        SimTime::from_hours(24),
+        SimDuration::from_hours(24),
+        |_, _| {},
+    );
     // M1's moderation is approved by voters and must spread widely; the
     // unvoted M2 spreads only via direct contact but should reach someone.
     let c1 = system.modcast().coverage(m[0]);
     let c2 = system.modcast().coverage(m[1]);
-    assert!(c1 >= c2, "approved moderator at least as covered: {c1} vs {c2}");
+    assert!(
+        c1 >= c2,
+        "approved moderator at least as covered: {c1} vs {c2}"
+    );
     assert!(c1 > 5, "M1 coverage too small: {c1}");
     assert!(c2 >= 1);
+    assert_clean_audit(&system);
 }
 
 #[test]
@@ -112,13 +157,19 @@ fn vote_lists_flow_into_ballots_only_via_experience() {
         ..ProtocolConfig::default()
     };
     let mut system = System::new(trace, protocol, setup, 17);
-    system.run_until(SimTime::from_hours(18), SimDuration::from_hours(18), |_, _| {});
+    system.enable_audit();
+    system.run_until(
+        SimTime::from_hours(18),
+        SimDuration::from_hours(18),
+        |_, _| {},
+    );
     for i in 0..system.trace_peer_count() {
         assert!(
             system.votes().ballot(NodeId::from_index(i)).is_empty(),
             "node {i} accepted votes despite an unreachable threshold"
         );
     }
+    assert_clean_audit(&system);
 }
 
 #[test]
@@ -131,10 +182,16 @@ fn newscast_pss_variant_also_converges() {
         ..ProtocolConfig::default()
     };
     let mut system = System::new(trace, protocol, setup, 19);
-    system.run_until(SimTime::from_hours(36), SimDuration::from_hours(36), |_, _| {});
+    system.enable_audit();
+    system.run_until(
+        SimTime::from_hours(36),
+        SimDuration::from_hours(36),
+        |_, _| {},
+    );
     let acc = system.ordering_accuracy(&m);
     assert!(
         acc > 0.4,
         "gossip PSS should still allow convergence, accuracy {acc}"
     );
+    assert_clean_audit(&system);
 }

@@ -5,8 +5,11 @@ use robust_vote_sampling::core::{
     rank_ballot, rank_ballot_positive, select_votes, BallotBox, TopKList, Vote, VoteEntry,
     VoteListPolicy, VoxCache,
 };
+use robust_vote_sampling::scenario::experiments::vote_sampling::fig6_setup;
+use robust_vote_sampling::scenario::{ProtocolConfig, System};
 use rvs_bittorrent::Bitfield;
-use rvs_sim::{DetRng, NodeId, SimTime};
+use rvs_sim::{DetRng, NodeId, SimDuration, SimTime};
+use rvs_trace::TraceGenConfig;
 
 fn arb_vote() -> impl Strategy<Value = Vote> {
     prop_oneof![Just(Vote::Positive), Just(Vote::Negative)]
@@ -190,5 +193,34 @@ proptest! {
         for m in missing {
             prop_assert!(!reference.contains(&m));
         }
+    }
+}
+
+// Whole-system property: for arbitrary small seeds, loss rates, and either
+// PSS, a full audited run observes zero invariant violations (conservation,
+// ballot bound, experience gating, VoxPopuli honesty). Few cases — each one
+// is a complete 12-hour simulation.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn audited_full_system_run_is_violation_free(
+        seed in 0u64..1_000,
+        loss in 0.0f64..0.5,
+        newscast in prop::bool::ANY,
+    ) {
+        let trace = TraceGenConfig::quick(16, SimDuration::from_hours(12)).generate(seed);
+        let (setup, _) = fig6_setup(&trace, 0.25, 0.25, seed);
+        let protocol = ProtocolConfig {
+            experience_t_mib: 1.0,
+            message_loss: loss,
+            use_newscast_pss: newscast,
+            ..ProtocolConfig::default()
+        };
+        let mut system = System::new(trace, protocol, setup, seed);
+        system.enable_audit();
+        system.run_until(SimTime::from_hours(12), SimDuration::from_hours(12), |_, _| {});
+        let auditor = system.auditor().expect("audit enabled");
+        prop_assert!(auditor.checks() > 0, "auditor performed no checks");
+        prop_assert_eq!(system.audit_violations(), &[] as &[String]);
     }
 }

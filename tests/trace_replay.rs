@@ -1,9 +1,11 @@
 //! Integration: trace generation → piece-level BitTorrent replay →
 //! BarterCast accounting, checked for physical consistency.
 
+use robust_vote_sampling::scenario::experiments::vote_sampling::fig6_setup;
+use robust_vote_sampling::scenario::{ProtocolConfig, System};
 use rvs_bartercast::{BarterCast, BarterCastConfig};
 use rvs_bittorrent::{BitTorrentNet, NetConfig};
-use rvs_sim::{NodeId, SimDuration};
+use rvs_sim::{NodeId, SimDuration, SimTime};
 use rvs_trace::{TraceEventKind, TraceGenConfig};
 
 #[test]
@@ -154,4 +156,52 @@ fn start_download_events_lead_to_membership() {
         }
     }
     assert!(saw_download, "trace should contain downloads");
+}
+
+#[test]
+fn full_system_replay_passes_runtime_audit() {
+    // Replay a trace through the *whole* stack (not just the swarm layer)
+    // with the invariant auditor on: physical conservation must survive the
+    // protocols running on top, and the telemetry must account for every
+    // gossip encounter the replay generated.
+    let trace = TraceGenConfig::quick(14, SimDuration::from_hours(18)).generate(15);
+    let (setup, _) = fig6_setup(&trace, 0.25, 0.25, 15);
+    let protocol = ProtocolConfig {
+        experience_t_mib: 1.0,
+        ..ProtocolConfig::default()
+    };
+    let mut system = System::new(trace, protocol, setup, 15);
+    system.enable_audit();
+    system.run_until(
+        SimTime::from_hours(18),
+        SimDuration::from_hours(18),
+        |_, _| {},
+    );
+
+    let auditor = system.auditor().expect("audit enabled");
+    assert!(auditor.checks() > 0, "auditor performed no checks");
+    assert_eq!(
+        system.audit_violations(),
+        &[] as &[String],
+        "invariant violations detected"
+    );
+
+    // Upload conservation inside the full system, as in the bare replay.
+    let ledger = system.net().ledger();
+    let n = system.trace_peer_count();
+    let total_up: u64 = (0..n)
+        .map(|i| ledger.total_uploaded_kib(NodeId::from_index(i)))
+        .sum();
+    let total_down: u64 = (0..n)
+        .map(|i| ledger.total_downloaded_kib(NodeId::from_index(i)))
+        .sum();
+    assert_eq!(total_up, total_down, "every upload is someone's download");
+
+    // Telemetry accounts for every encounter the replay generated.
+    let snap = system.telemetry_snapshot();
+    assert!(snap.encounters.attempted > 0);
+    assert_eq!(
+        snap.encounters.attempted,
+        snap.encounters.delivered + snap.total_dropped()
+    );
 }
