@@ -5,8 +5,13 @@
 //! warmed up briefly, then timed over a fixed number of samples and the
 //! median per-iteration time is printed. Good enough for relative
 //! comparisons on one machine, which is all the benches are for.
+//!
+//! Like real criterion, `cargo bench -- --test` switches to a smoke mode
+//! that runs every benchmark exactly once and reports `ok` instead of
+//! timing it — cheap enough for CI to catch bench bitrot on every push.
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -125,7 +130,22 @@ impl Bencher {
     }
 }
 
+/// `cargo bench -- --test`: execute each bench once, no timing loops.
+fn smoke_mode() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
 fn run_benchmark(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    if smoke_mode() {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {label} ... ok");
+        return;
+    }
     // Warm-up & calibration: find an iteration count that takes ~5ms/sample.
     let mut iters: u64 = 1;
     loop {

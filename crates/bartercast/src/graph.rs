@@ -9,7 +9,12 @@
 
 use rvs_sim::NodeId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+
+/// How many recently changed edges a graph remembers for fine-grained cache
+/// invalidation. A consumer that falls further behind than this must treat
+/// the whole graph as changed (see [`SubjectiveGraph::changes_since`]).
+const CHANGE_LOG_CAP: usize = 256;
 
 /// Per-edge pair of reports: what the sender claimed and what the receiver
 /// claimed.
@@ -28,9 +33,30 @@ impl EdgeReports {
 }
 
 /// One node's subjective view of the transfer network.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// The graph also carries a **mutation epoch**: a counter bumped every time
+/// an installed report changes some edge's *effective* weight (reports that
+/// are rejected or stale leave the epoch untouched). Together with a bounded
+/// log of recently changed edges this lets contribution caches invalidate
+/// lazily and precisely instead of recomputing on every query.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SubjectiveGraph {
     edges: BTreeMap<(NodeId, NodeId), EdgeReports>,
+    /// Count of effective-weight changes since creation.
+    epoch: u64,
+    /// Endpoints of the last `CHANGE_LOG_CAP` weight changes, oldest first;
+    /// entry `k` (from the back) corresponds to epoch `epoch - k`.
+    changed: VecDeque<(NodeId, NodeId)>,
+}
+
+/// Equality is defined over graph *content* only: two graphs that agree on
+/// every edge weight are equal regardless of how many redundant or stale
+/// reports each one absorbed along the way (epoch and change log are
+/// bookkeeping, not knowledge).
+impl PartialEq for SubjectiveGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.edges == other.edges
+    }
 }
 
 impl SubjectiveGraph {
@@ -54,12 +80,40 @@ impl SubjectiveGraph {
             return false;
         }
         let e = self.edges.entry((from, to)).or_default();
+        let before = e.weight();
         if reporter == from {
             e.by_from = e.by_from.max(kib);
         } else {
             e.by_to = e.by_to.max(kib);
         }
+        if e.weight() != before {
+            self.epoch += 1;
+            if self.changed.len() == CHANGE_LOG_CAP {
+                self.changed.pop_front();
+            }
+            self.changed.push_back((from, to));
+        }
         true
+    }
+
+    /// The mutation epoch: how many times an effective edge weight has
+    /// changed since this graph was created. Rejected and stale reports do
+    /// not advance it.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The edges whose effective weight changed after epoch `since`
+    /// (exclusive), oldest first — or `None` when the bounded change log no
+    /// longer reaches back that far, in which case the caller must assume
+    /// *anything* may have changed.
+    pub fn changes_since(&self, since: u64) -> Option<impl Iterator<Item = (NodeId, NodeId)> + '_> {
+        let behind = self.epoch.saturating_sub(since);
+        if behind > self.changed.len() as u64 {
+            return None;
+        }
+        let skip = self.changed.len() - behind as usize;
+        Some(self.changed.iter().skip(skip).copied())
     }
 
     /// Effective weight of edge `(from → to)` in KiB.
@@ -154,6 +208,64 @@ mod tests {
         g.insert_report(NodeId(5), NodeId(5), NodeId(7), 30);
         let out = g.out_edges(NodeId(5));
         assert_eq!(out, vec![(NodeId(2), 20), (NodeId(7), 30), (NodeId(9), 10)]);
+    }
+
+    #[test]
+    fn epoch_tracks_effective_weight_changes_only() {
+        let mut g = SubjectiveGraph::new();
+        assert_eq!(g.epoch(), 0);
+        g.insert_report(NodeId(1), NodeId(1), NodeId(2), 100);
+        assert_eq!(g.epoch(), 1);
+        // Stale (smaller) report: accepted but changes nothing.
+        g.insert_report(NodeId(1), NodeId(1), NodeId(2), 50);
+        assert_eq!(g.epoch(), 1);
+        // Counter-report below the stored max: weight unchanged.
+        g.insert_report(NodeId(2), NodeId(1), NodeId(2), 80);
+        assert_eq!(g.epoch(), 1);
+        // Counter-report above the stored max: weight changes.
+        g.insert_report(NodeId(2), NodeId(1), NodeId(2), 120);
+        assert_eq!(g.epoch(), 2);
+        // Rejected third-party report: nothing changes.
+        g.insert_report(NodeId(9), NodeId(3), NodeId(4), 7);
+        assert_eq!(g.epoch(), 2);
+    }
+
+    #[test]
+    fn changes_since_lists_changed_edges_in_order() {
+        let mut g = SubjectiveGraph::new();
+        g.insert_report(NodeId(1), NodeId(1), NodeId(2), 10);
+        g.insert_report(NodeId(3), NodeId(3), NodeId(4), 10);
+        let all: Vec<_> = g.changes_since(0).unwrap().collect();
+        assert_eq!(all, vec![(NodeId(1), NodeId(2)), (NodeId(3), NodeId(4))]);
+        let tail: Vec<_> = g.changes_since(1).unwrap().collect();
+        assert_eq!(tail, vec![(NodeId(3), NodeId(4))]);
+        assert_eq!(g.changes_since(2).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn change_log_overflow_reports_unknown() {
+        let mut g = SubjectiveGraph::new();
+        for k in 0..(CHANGE_LOG_CAP as u64 + 10) {
+            g.insert_report(NodeId(1), NodeId(1), NodeId(2), k + 1);
+        }
+        assert_eq!(g.epoch(), CHANGE_LOG_CAP as u64 + 10);
+        // Epoch 5 is beyond the bounded log: the graph cannot say.
+        assert!(g.changes_since(5).is_none());
+        // Recent epochs are still covered.
+        assert_eq!(g.changes_since(g.epoch() - 3).unwrap().count(), 3);
+    }
+
+    #[test]
+    fn equality_ignores_bookkeeping() {
+        let mut a = SubjectiveGraph::new();
+        a.insert_report(NodeId(1), NodeId(1), NodeId(2), 100);
+        let mut b = SubjectiveGraph::new();
+        // Same final content via more (stale) installs: different epoch.
+        b.insert_report(NodeId(1), NodeId(1), NodeId(2), 40);
+        b.insert_report(NodeId(1), NodeId(1), NodeId(2), 100);
+        b.insert_report(NodeId(1), NodeId(1), NodeId(2), 90);
+        assert_ne!(a.epoch(), b.epoch());
+        assert_eq!(a, b);
     }
 
     #[test]

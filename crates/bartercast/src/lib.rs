@@ -15,14 +15,19 @@
 //! Modules:
 //!
 //! * [`graph`] — per-node subjective transfer graphs with reporter-checked
-//!   edge insertion (a peer may only report its *own* transfers);
+//!   edge insertion (a peer may only report its *own* transfers) and a
+//!   mutation epoch + bounded change log driving cache invalidation;
 //! * [`maxflow`] — hop-bounded Edmonds–Karp, matching the deployed
 //!   BarterCast's 2-hop maxflow that limits the leverage of false reports;
+//! * [`cache`] — incremental memoization of `f_{j→i}` with epoch-based,
+//!   fine-grained invalidation (proven equivalent to recomputation by
+//!   differential tests);
 //! * [`protocol`] — the record-exchange gossip ([`BarterCast`]);
 //! * [`experience`] — the threshold experience function
 //!   `E_i(j) ⇔ f_{j→i} ≥ T` plus the adaptive-threshold variant sketched in
 //!   the paper's discussion (§VII).
 
+pub mod cache;
 pub mod experience;
 pub mod graph;
 pub mod maxflow;
@@ -30,4 +35,4 @@ pub mod protocol;
 
 pub use experience::{AdaptiveThreshold, ThresholdExperience};
 pub use graph::SubjectiveGraph;
-pub use protocol::{BarterCast, BarterCastConfig};
+pub use protocol::{BarterCast, BarterCastConfig, Record};

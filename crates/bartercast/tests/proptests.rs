@@ -100,6 +100,81 @@ proptest! {
         }
     }
 
+    /// Differential test of the incremental contribution cache: a cached
+    /// `BarterCast` and a cache-disabled twin fed byte-identical interleaved
+    /// mutations (ledger credits, own-record syncs, exchanges, injected
+    /// reports) must answer every contribution and experience query
+    /// byte-identically, at every point of the interleaving. This is the
+    /// cache analogue of `closed_form_matches_edmonds_karp_on_random_graphs`:
+    /// the uncached twin is the executable specification.
+    #[test]
+    fn cached_and_uncached_twins_agree_on_everything(
+        ops in prop::collection::vec((0u8..6, 0u32..6, 0u32..6, 0u32..6, 1u64..20_000), 1..80),
+        hops in 1usize..4,
+    ) {
+        use rvs_bartercast::{Record, ThresholdExperience};
+        let cfg = BarterCastConfig {
+            max_hops: hops,
+            ..BarterCastConfig::default()
+        };
+        let mut cached = BarterCast::new(6, cfg);
+        let mut plain = BarterCast::new(6, cfg.without_cache());
+        let mut ledger = TransferLedger::new();
+        let e = ThresholdExperience::new(1.0);
+        for &(op, a, b, c, kib) in &ops {
+            let (x, y, z) = (NodeId(a), NodeId(b), NodeId(c));
+            match op {
+                0 => ledger.credit(x, y, kib),
+                1 => {
+                    cached.sync_own_records(x, &ledger);
+                    plain.sync_own_records(x, &ledger);
+                }
+                2 => {
+                    cached.exchange(x, y);
+                    plain.exchange(x, y);
+                }
+                3 => {
+                    // Possibly fabricated record from reporter `y`.
+                    let rec = Record { from: y, to: z, kib };
+                    let lhs = cached.inject_report(x, y, rec);
+                    let rhs = plain.inject_report(x, y, rec);
+                    prop_assert_eq!(lhs, rhs);
+                }
+                4 => {
+                    prop_assert_eq!(
+                        cached.contribution_kib(x, y),
+                        plain.contribution_kib(x, y),
+                        "f_{{{}->{}}} diverged", y, x
+                    );
+                    prop_assert_eq!(
+                        cached.contribution_mib(x, y).to_bits(),
+                        plain.contribution_mib(x, y).to_bits(),
+                        "MiB conversion diverged for ({}, {})", x, y
+                    );
+                }
+                _ => {
+                    prop_assert_eq!(
+                        e.is_experienced(&cached, x, y),
+                        e.is_experienced(&plain, x, y)
+                    );
+                }
+            }
+        }
+        // Closing sweep: every pair, single and batched, plus the
+        // cache-free oracle.
+        let peers: Vec<NodeId> = (0..6).map(NodeId).collect();
+        for &i in &peers {
+            let batch = cached.contributions_kib(i, &peers);
+            for (k, &j) in peers.iter().enumerate() {
+                let reference = plain.contribution_kib(i, j);
+                prop_assert_eq!(batch[k], reference);
+                prop_assert_eq!(cached.contribution_kib(i, j), reference);
+                prop_assert_eq!(cached.contribution_kib_uncached(i, j), reference);
+            }
+            prop_assert_eq!(cached.graph(i), plain.graph(i), "graph {} diverged", i);
+        }
+    }
+
     /// More meetings never reduce a contribution estimate (knowledge is
     /// monotone for honest populations).
     #[test]

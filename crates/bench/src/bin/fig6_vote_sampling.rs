@@ -8,8 +8,12 @@
 //! towards 1.0 by day 7.
 //!
 //! ```text
-//! cargo run --release -p rvs-bench --bin fig6_vote_sampling [--quick]
+//! cargo run --release -p rvs-bench --bin fig6_vote_sampling [--quick] [--no-cache]
 //! ```
+//!
+//! `--no-cache` disables the incremental contribution cache (every
+//! experience check recomputes its maxflow), for before/after comparisons
+//! of the `maxflow_evaluations` counter.
 
 use rvs_bench::{header, maybe_write_json, quick_mode, timed};
 use rvs_metrics::TimeSeries;
@@ -18,11 +22,15 @@ use rvs_scenario::{run_vote_sampling, VoteSamplingConfig};
 fn main() {
     let quick = quick_mode();
     header("F6", "vote-sampling effectiveness over time", quick);
-    let cfg = if quick {
+    let mut cfg = if quick {
         VoteSamplingConfig::quick_demo(100)
     } else {
         VoteSamplingConfig::paper()
     };
+    if std::env::args().any(|a| a == "--no-cache") {
+        cfg.protocol = cfg.protocol.without_contribution_cache();
+        println!("contribution cache DISABLED (--no-cache)");
+    }
     println!(
         "trace: {} peers × {} runs; B_min={}, B_max={}, V_max={}, K={}, T={} MiB\n",
         cfg.trace.n_peers,

@@ -78,16 +78,19 @@ pub fn run_experience_formation(cfg: &ExperienceConfig) -> Vec<TimeSeries> {
         .map(|t| TimeSeries::new(format!("T={t}MB")))
         .collect();
     let thresholds = cfg.thresholds_mib.clone();
+    let peers: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
     let end = SimTime::ZERO + cfg.duration;
     system.run_until(end, cfg.sample_every, |sys, now| {
-        // One pass over the contribution matrix covers every threshold.
+        // One pass over the contribution matrix covers every threshold;
+        // each evaluator's row goes through the batched cache path (one
+        // reconciliation per row instead of per pair).
         let mut counts = vec![0u64; thresholds.len()];
-        for i in 0..n {
-            for j in 0..n {
+        for (i, &evaluator) in peers.iter().enumerate() {
+            let row = sys.bartercast().contributions_mib(evaluator, &peers);
+            for (j, &f) in row.iter().enumerate() {
                 if i == j {
                     continue;
                 }
-                let f = sys.contribution_mib(NodeId::from_index(i), NodeId::from_index(j));
                 for (k, &t) in thresholds.iter().enumerate() {
                     if f >= t {
                         counts[k] += 1;

@@ -15,6 +15,12 @@ use rvs_telemetry::{EncounterCounters, PhaseTimer, Snapshot};
 use rvs_trace::{Trace, TraceEventKind};
 use std::collections::BTreeSet;
 
+/// Evaluator nodes whose contribution caches are coherence-sampled per
+/// audited gossip round.
+const AUDIT_CACHE_NODES_PER_ROUND: usize = 2;
+/// Cached `(i, j)` pairs re-derived per sampled evaluator.
+const AUDIT_CACHE_PAIRS_PER_NODE: usize = 2;
+
 /// Number of vote entries `voter` currently holds in `ballot`.
 fn votes_from(ballot: &BallotBox, voter: NodeId) -> usize {
     ballot.iter().filter(|&(v, _, _, _)| v == voter).count()
@@ -82,6 +88,9 @@ pub struct System {
     rng_bt: DetRng,
     rng_gossip: DetRng,
     rng_pss: DetRng,
+    // Dedicated stream for audit sampling so enabling the auditor never
+    // perturbs protocol randomness.
+    rng_audit: DetRng,
 
     enc: EncounterCounters,
     timer: PhaseTimer,
@@ -171,6 +180,7 @@ impl System {
             rng_bt: root.fork(1),
             rng_gossip: root.fork(2),
             rng_pss: root.fork(3),
+            rng_audit: root.fork(4),
             enc: EncounterCounters::default(),
             timer: PhaseTimer::new(),
             audit: None,
@@ -291,14 +301,35 @@ impl System {
         self.bc.contribution_mib(i, j) >= t
     }
 
+    /// Batched `E_i(j)` for one evaluator against many peers. Reconciles
+    /// `i`'s contribution cache once for the whole sweep, so round-level
+    /// gating over a candidate set costs one cache pass plus the misses.
+    pub fn experienced_batch(&self, i: NodeId, peers: &[NodeId]) -> Vec<bool> {
+        let t = match &self.adaptive {
+            Some(per_node) => per_node[i.index()].t_mib,
+            None => self.cfg.experience_t_mib,
+        };
+        self.bc
+            .contributions_mib(i, peers)
+            .into_iter()
+            .map(|f| f >= t)
+            .collect()
+    }
+
     /// Contribution `f_{j→i}` in MiB for an explicit threshold sweep.
     pub fn contribution_mib(&self, i: NodeId, j: NodeId) -> f64 {
         self.bc.contribution_mib(i, j)
     }
 
     /// CEV over the trace population for threshold `t_mib` (Figure 5).
+    /// Sweeps each evaluator's row through the batched cache path.
     pub fn cev(&self, t_mib: f64) -> f64 {
-        collective_experience_value(self.n_trace, |i, j| self.bc.contribution_mib(i, j) >= t_mib)
+        let peers: Vec<NodeId> = (0..self.n_trace).map(NodeId::from_index).collect();
+        let rows: Vec<Vec<f64>> = peers
+            .iter()
+            .map(|&i| self.bc.contributions_mib(i, &peers))
+            .collect();
+        collective_experience_value(self.n_trace, |i, j| rows[i.index()][j.index()] >= t_mib)
     }
 
     /// The ranking node `i` would display to its user: the VoxPopuli merge
@@ -482,6 +513,20 @@ impl System {
             aud.check(e.attempted == accounted, || {
                 format!("encounter conservation broken at {now}: {e:?}")
             });
+            // Sampled cache coherence: pick a few evaluators, re-derive a
+            // random subset of their cached contributions from scratch, and
+            // demand byte-identical values.
+            for _ in 0..AUDIT_CACHE_NODES_PER_ROUND {
+                let node = NodeId::from_index(self.rng_audit.index(self.n_total));
+                let violations = self.bc.audit_cache_coherence(
+                    node,
+                    AUDIT_CACHE_PAIRS_PER_NODE,
+                    &mut self.rng_audit,
+                );
+                aud.check(violations.is_empty(), || {
+                    format!("at {now}: {}", violations.join("; "))
+                });
+            }
         }
     }
 

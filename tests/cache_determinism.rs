@@ -1,0 +1,49 @@
+//! Seeded determinism regression for the contribution cache: a full
+//! fig6-style vote-sampling run with caching on must be indistinguishable
+//! from the same run with caching off — identical accuracy curves,
+//! moderator cast, and telemetry counters once the cache-bookkeeping
+//! counters are projected away — while doing at least 5× fewer maxflow
+//! evaluations (the headline win the cache exists for).
+
+use robust_vote_sampling::scenario::{run_vote_sampling, VoteSamplingConfig};
+
+#[test]
+fn fig6_outcome_is_invariant_under_caching() {
+    let mut on = VoteSamplingConfig::quick_demo(41);
+    on.runs = 1;
+    let mut off = on.clone();
+    off.protocol = off.protocol.without_contribution_cache();
+
+    let a = run_vote_sampling(&on);
+    let b = run_vote_sampling(&off);
+
+    // Observable behaviour is identical: same curves, same cast.
+    assert_eq!(a.typical, b.typical);
+    assert_eq!(a.accuracy, b.accuracy);
+    assert_eq!(a.moderators, b.moderators);
+
+    // Telemetry agrees modulo the cache counters themselves.
+    assert_eq!(a.telemetry.modulo_cache(), b.telemetry.modulo_cache());
+
+    // The uncached twin never touches the cache counters; the cached twin
+    // answers exactly the same number of queries, split into hits + misses.
+    let (c, u) = (&a.telemetry.barter, &b.telemetry.barter);
+    assert_eq!(u.cache_hits, 0);
+    assert_eq!(u.cache_misses, 0);
+    assert_eq!(c.cache_hits + c.cache_misses, u.maxflow_evaluations);
+
+    // Acceptance criterion: ≥5× fewer maxflow evaluations with the cache.
+    assert!(
+        u.maxflow_evaluations >= 5 * c.maxflow_evaluations,
+        "expected >=5x reduction: uncached {} vs cached {}",
+        u.maxflow_evaluations,
+        c.maxflow_evaluations
+    );
+}
+
+#[test]
+fn cached_run_is_reproducible() {
+    let mut cfg = VoteSamplingConfig::quick_demo(53);
+    cfg.runs = 1;
+    assert_eq!(run_vote_sampling(&cfg), run_vote_sampling(&cfg));
+}
