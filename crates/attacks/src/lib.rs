@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 //! Adversary models (paper §VI-C and §VII).
 //!
 //! All attacks act through the same protocol surfaces honest nodes use —

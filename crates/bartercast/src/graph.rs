@@ -235,11 +235,14 @@ mod tests {
         let mut g = SubjectiveGraph::new();
         g.insert_report(NodeId(1), NodeId(1), NodeId(2), 10);
         g.insert_report(NodeId(3), NodeId(3), NodeId(4), 10);
-        let all: Vec<_> = g.changes_since(0).unwrap().collect();
-        assert_eq!(all, vec![(NodeId(1), NodeId(2)), (NodeId(3), NodeId(4))]);
-        let tail: Vec<_> = g.changes_since(1).unwrap().collect();
-        assert_eq!(tail, vec![(NodeId(3), NodeId(4))]);
-        assert_eq!(g.changes_since(2).unwrap().count(), 0);
+        let all = g.changes_since(0).map(|it| it.collect::<Vec<_>>());
+        assert_eq!(
+            all,
+            Some(vec![(NodeId(1), NodeId(2)), (NodeId(3), NodeId(4))])
+        );
+        let tail = g.changes_since(1).map(|it| it.collect::<Vec<_>>());
+        assert_eq!(tail, Some(vec![(NodeId(3), NodeId(4))]));
+        assert_eq!(g.changes_since(2).map(Iterator::count), Some(0));
     }
 
     #[test]
@@ -252,7 +255,7 @@ mod tests {
         // Epoch 5 is beyond the bounded log: the graph cannot say.
         assert!(g.changes_since(5).is_none());
         // Recent epochs are still covered.
-        assert_eq!(g.changes_since(g.epoch() - 3).unwrap().count(), 3);
+        assert_eq!(g.changes_since(g.epoch() - 3).map(Iterator::count), Some(3));
     }
 
     #[test]

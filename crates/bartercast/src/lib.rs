@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 //! BarterCast: decentralized contribution accounting and the experience
 //! function (paper §V-B).
 //!

@@ -108,19 +108,31 @@ pub(crate) fn edmonds_karp_bounded(
         if !found {
             return total;
         }
-        // Bottleneck along the path.
+        // Bottleneck along the path. BFS only enqueued `v` with a parent
+        // whose residual was positive, so the lookups cannot miss — but a
+        // miss must not be a panic path: an inconsistent parent chain
+        // terminates the search with the flow found so far instead.
         let mut bottleneck = u64::MAX;
         let mut v = dst;
         while v != src {
-            let u = parent[&v];
-            bottleneck = bottleneck.min(residual[&(u, v)]);
+            let Some((&u, cap)) = parent
+                .get(&v)
+                .and_then(|u| residual.get(&(*u, v)).map(|c| (u, *c)))
+            else {
+                return total;
+            };
+            bottleneck = bottleneck.min(cap);
             v = u;
         }
         // Augment.
         let mut v = dst;
         while v != src {
-            let u = parent[&v];
-            *residual.get_mut(&(u, v)).expect("forward edge") -= bottleneck;
+            let Some(&u) = parent.get(&v) else {
+                return total;
+            };
+            if let Some(fwd) = residual.get_mut(&(u, v)) {
+                *fwd = fwd.saturating_sub(bottleneck);
+            }
             *residual.entry((v, u)).or_insert(0) += bottleneck;
             v = u;
         }

@@ -1,3 +1,5 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented public items
+
 //! BallotBox merge/evict and ranking throughput at the paper's operating
 //! point (B_max = 100) and above.
 

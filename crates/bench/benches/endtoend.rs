@@ -1,3 +1,5 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented public items
+
 //! End-to-end cost: a scaled-down full-stack vote-sampling run (trace →
 //! swarms → BarterCast → ModerationCast → BallotBox/VoxPopuli).
 

@@ -1,3 +1,5 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented public items
+
 //! DES engine throughput: schedule/fire cycles through the event queue.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -1,3 +1,5 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented public items
+
 //! ModerationCast extract/merge throughput: the per-encounter cost of the
 //! metadata dissemination protocol.
 

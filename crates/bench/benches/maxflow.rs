@@ -1,3 +1,5 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented public items
+
 //! BarterCast contribution queries: 2-hop closed form and general
 //! bounded Edmonds–Karp on random subjective graphs of growing size, plus
 //! the incremental contribution cache under repeat queries and churn, and

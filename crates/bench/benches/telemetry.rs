@@ -1,3 +1,5 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented public items
+
 //! Telemetry overhead: the same fig6-style full-stack run with telemetry
 //! (phase timers) enabled vs disabled. Counters are always on by design —
 //! an unconditional add is cheaper than a branch — so the only measurable

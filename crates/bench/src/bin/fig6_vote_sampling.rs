@@ -27,6 +27,7 @@ fn main() {
     } else {
         VoteSamplingConfig::paper()
     };
+    // rvs-lint: allow(ambient-env) -- CLI flag parsing at the binary entry point
     if std::env::args().any(|a| a == "--no-cache") {
         cfg.protocol = cfg.protocol.without_contribution_cache();
         println!("contribution cache DISABLED (--no-cache)");

@@ -1,5 +1,5 @@
-#![warn(missing_docs)]
 //! Shared plumbing for the figure/table regeneration binaries.
+// rvs-lint: allow-file(ambient-env, wall-clock) -- bench harness: CLI flag parsing and human-facing wall-clock reporting; never part of simulated protocol state
 //!
 //! Every binary accepts `--quick` to run a scaled-down configuration
 //! (minutes → seconds) and prints the same rows/series the paper reports,

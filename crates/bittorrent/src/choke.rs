@@ -235,7 +235,7 @@ mod tests {
     #[test]
     fn seeder_rotates_among_interested() {
         let interested = ids(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for seed in 0..40 {
             let mut rng = DetRng::new(seed);
             let d = rechoke(

@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 //! Piece-level BitTorrent swarm simulation.
 //!
 //! The paper's evaluation "operates at the BitTorrent file piece level …

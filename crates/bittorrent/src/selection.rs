@@ -128,7 +128,7 @@ mod tests {
         let theirs = Bitfield::full(pieces);
         let avail = avail_from(&[&theirs], pieces);
         let mut rng = DetRng::new(3);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..200 {
             seen.insert(pick_piece(&mine, &theirs, &avail, &mut rng).unwrap());
         }

@@ -262,7 +262,11 @@ impl SwarmSim {
                 m.optimistic,
                 rng,
             );
-            let m = self.members.get_mut(&u).expect("member exists");
+            // `u` came from iterating `self.members`, so the re-borrow can
+            // only miss if the member set changed mid-loop — skip, not panic.
+            let Some(m) = self.members.get_mut(&u) else {
+                continue;
+            };
             m.unchoked = decision.unchoked;
             m.optimistic = decision.optimistic;
             m.rechokes += 1;
@@ -318,8 +322,9 @@ impl SwarmSim {
             let u_bitfield = self.members[&u].bitfield.clone();
             let was_complete = self.members[&v].bitfield.is_complete();
             let mut received = 0.0f64;
-            loop {
-                let member_v = self.members.get_mut(&v).expect("downloader exists");
+            // Connections were enumerated over `self.members`; a missing
+            // downloader ends this connection rather than the process.
+            while let Some(member_v) = self.members.get_mut(&v) {
                 // Ensure v has an in-flight piece from u.
                 if !member_v.in_flight.contains_key(&u) {
                     let requested = member_v.requested_pieces();
@@ -341,7 +346,11 @@ impl SwarmSim {
                         None => break, // nothing useful on this connection
                     }
                 }
-                let (piece, remaining) = member_v.in_flight.get_mut(&u).expect("in flight");
+                // Inserted just above when absent; treat a miss as "nothing
+                // useful on this connection".
+                let Some((piece, remaining)) = member_v.in_flight.get_mut(&u) else {
+                    break;
+                };
                 let step = budget.min(*remaining);
                 *remaining -= step;
                 budget -= step;
@@ -360,7 +369,9 @@ impl SwarmSim {
                 }
             }
             if received > 0.0 {
-                let member_v = self.members.get_mut(&v).expect("downloader exists");
+                let Some(member_v) = self.members.get_mut(&v) else {
+                    continue;
+                };
                 *member_v.window_recv.entry(u).or_insert(0) += received.round() as u64;
                 let frac = member_v.uncredited.entry(u).or_insert(0.0);
                 *frac += received;

@@ -85,12 +85,16 @@ impl BallotBox {
         // Make room.
         let mut evicted_voters = 0;
         while self.last_heard.len() >= self.b_max {
-            let oldest = self
+            // The loop guard keeps the map non-empty whenever b_max > 0; a
+            // b_max of 0 leaves nothing to evict, so stop instead of panic.
+            let Some(oldest) = self
                 .last_heard
                 .iter()
                 .min_by_key(|(&v, &t)| (t, v))
                 .map(|(&v, _)| v)
-                .expect("non-empty map");
+            else {
+                break;
+            };
             self.forget_voter(oldest);
             evicted_voters += 1;
         }

@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 //! The paper's primary contribution: robust vote sampling (paper §V).
 //!
 //! Two related protocols plus ranking machinery:

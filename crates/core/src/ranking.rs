@@ -80,12 +80,9 @@ pub fn rank_ballot_scored(ballot: &BallotBox, method: ScoreMethod, k: usize) -> 
             (score, p, m)
         })
         .collect();
-    scored.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0)
-            .expect("scores finite")
-            .then(b.1.cmp(&a.1))
-            .then(a.2.cmp(&b.2))
-    });
+    // total_cmp: panic-free and identical to the numeric order here (ballot
+    // scores are finite, and equal tallies produce the same +0.0).
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2)));
     TopKList {
         ranked: scored.into_iter().take(k).map(|(_, _, m)| m).collect(),
     }

@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn random_covers_old_votes_across_calls() {
         let mut rng = DetRng::new(3);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..100 {
             for e in select_votes(many(60), 10, VoteListPolicy::Random, &mut rng) {
                 seen.insert(e.moderator.0);

@@ -133,7 +133,10 @@ impl VoxCache {
                     }
                     MergeMethod::MedianRank => {
                         let mut sorted = ranks.clone();
-                        sorted.sort_by(|a, b| a.partial_cmp(b).expect("ranks finite"));
+                        // total_cmp: no panic path, and ranks are finite
+                        // positive values so the IEEE total order agrees
+                        // with the numeric one.
+                        sorted.sort_by(f64::total_cmp);
                         let mid = sorted.len() / 2;
                         if sorted.len() % 2 == 1 {
                             sorted[mid]
@@ -145,11 +148,7 @@ impl VoxCache {
                 (score, m)
             })
             .collect();
-        scored.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("scores finite")
-                .then(a.1.cmp(&b.1))
-        });
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         TopKList {
             ranked: scored.into_iter().take(self.k).map(|(_, m)| m).collect(),
         }

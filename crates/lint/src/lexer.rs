@@ -1,0 +1,478 @@
+//! A small comment- and string-aware Rust lexer.
+//!
+//! The rule engine only needs a faithful stream of *code* tokens — banned
+//! names must never be reported when they appear inside comments, string
+//! literals, raw strings, char literals, or doc text. The lexer therefore
+//! understands exactly the pieces of Rust's lexical grammar that can hide
+//! text: line comments, (nested) block comments, string/byte-string
+//! literals with escapes, raw (byte) strings with arbitrary `#` fences,
+//! char literals, lifetimes, and raw identifiers. Everything else is
+//! reduced to identifier and punctuation tokens tagged with line numbers.
+//!
+//! The lexer is also where `// rvs-lint: allow(...)` annotations are
+//! recognised, since they live in comments the token stream drops.
+
+/// One code token: an identifier, number, or punctuation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    /// Normalized token text (`::` is a single token; identifiers and
+    /// numbers keep their text; other punctuation is one char each).
+    pub text: String,
+}
+
+/// A parsed `// rvs-lint: allow(<rules>) -- <justification>` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// `allow-file(...)` annotations suppress for the whole file;
+    /// `allow(...)` only for the annotation's line and the line below it.
+    pub file_scoped: bool,
+    /// Rule ids named inside the parentheses.
+    pub rules: Vec<String>,
+    /// The text after `--`; an annotation without one is itself a finding.
+    pub justification: Option<String>,
+    /// Set when the directive was recognised but could not be parsed.
+    pub error: Option<String>,
+}
+
+/// Lexer output: the code token stream plus any lint annotations found in
+/// comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// `rvs-lint:` annotations, in source order.
+    pub annotations: Vec<Annotation>,
+}
+
+/// Tokenize `src`, skipping comments and all literal forms.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = chars.len();
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            let body: String = chars[start..j].iter().collect();
+            if let Some(a) = parse_annotation(line, &body) {
+                out.annotations.push(a);
+            }
+            i = j;
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if chars[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            i = j;
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            i = skip_string(&chars, i + 1, &mut line);
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            i = skip_char_or_lifetime(&chars, i, &mut line);
+            continue;
+        }
+        // Identifier / number (also raw-string and byte-literal prefixes).
+        if c.is_ascii_alphanumeric() || c == '_' {
+            let start = i;
+            let mut j = i;
+            if c.is_ascii_digit() {
+                // Number: digits, `_`, alphanumeric suffixes, and `.` only
+                // when followed by another digit (so `1.0` is one token but
+                // `1.max(2)` splits before the method call).
+                while j < n {
+                    let d = chars[j];
+                    let in_number = d.is_ascii_alphanumeric()
+                        || d == '_'
+                        || (d == '.' && j + 1 < n && chars[j + 1].is_ascii_digit());
+                    if !in_number {
+                        break;
+                    }
+                    j += 1;
+                }
+            } else {
+                while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+            }
+            let ident: String = chars[start..j].iter().collect();
+            // Raw / byte literal prefixes: the prefix ident is not a token.
+            if j < n {
+                let next = chars[j];
+                match (ident.as_str(), next) {
+                    ("r" | "br" | "b" | "rb", '"') | ("r" | "br" | "rb", '#') => {
+                        if ident == "b" {
+                            i = skip_string(&chars, j + 1, &mut line);
+                        } else if next == '"' {
+                            i = skip_raw_string(&chars, j + 1, 0, &mut line);
+                        } else {
+                            // Count the `#` fence; `r#ident` (no quote after
+                            // the fence) is a raw identifier instead.
+                            let mut k = j;
+                            while k < n && chars[k] == '#' {
+                                k += 1;
+                            }
+                            if k < n && chars[k] == '"' {
+                                i = skip_raw_string(&chars, k + 1, k - j, &mut line);
+                            } else {
+                                // Raw identifier: emit the ident that follows.
+                                let mut m = k;
+                                while m < n && (chars[m].is_ascii_alphanumeric() || chars[m] == '_')
+                                {
+                                    m += 1;
+                                }
+                                out.toks.push(Tok {
+                                    line,
+                                    text: chars[k..m].iter().collect(),
+                                });
+                                i = m;
+                            }
+                        }
+                        continue;
+                    }
+                    ("b", '\'') => {
+                        i = skip_char_or_lifetime(&chars, j, &mut line);
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            out.toks.push(Tok { line, text: ident });
+            i = j;
+            continue;
+        }
+        // `::` as one token (path separators are load-bearing for rules).
+        if c == ':' && i + 1 < n && chars[i + 1] == ':' {
+            out.toks.push(Tok {
+                line,
+                text: "::".to_string(),
+            });
+            i += 2;
+            continue;
+        }
+        out.toks.push(Tok {
+            line,
+            text: c.to_string(),
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Skip a (byte-)string body starting just after the opening quote.
+/// Returns the index just past the closing quote.
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    while i < n {
+        match chars[i] {
+            '\\' => i += 2, // escape: skip the escaped char (incl. `\"`)
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a raw (byte-)string body starting just after the opening quote,
+/// closed by `"` followed by `hashes` `#` chars. Returns the index past the
+/// closing fence.
+fn skip_raw_string(chars: &[char], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    while i < n {
+        if chars[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if chars[i] == '"' {
+            let mut k = 0;
+            while k < hashes && i + 1 + k < n && chars[i + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skip a char literal or lifetime starting at the `'`. Returns the index
+/// past the literal (or past the lifetime identifier).
+fn skip_char_or_lifetime(chars: &[char], i: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    let mut j = i + 1;
+    if j >= n {
+        return j;
+    }
+    if chars[j] == '\\' {
+        // Escaped char literal: `'\n'`, `'\u{1F600}'`, `'\''`, ...
+        j += 2;
+        while j < n && chars[j] != '\'' {
+            j += 1;
+        }
+        return (j + 1).min(n);
+    }
+    if chars[j].is_ascii_alphabetic() || chars[j] == '_' {
+        // `'a` — lifetime unless the identifier is closed by a quote
+        // (`'a'` is a char literal).
+        let mut k = j;
+        while k < n && (chars[k].is_ascii_alphanumeric() || chars[k] == '_') {
+            k += 1;
+        }
+        if k < n && chars[k] == '\'' {
+            return k + 1; // char literal like 'x'
+        }
+        return k; // lifetime: nothing emitted
+    }
+    // Plain char literal like '(' or '0', possibly a newline char.
+    if chars[j] == '\n' {
+        *line += 1;
+    }
+    let mut k = j + 1;
+    while k < n && chars[k] != '\'' {
+        if chars[k] == '\n' {
+            *line += 1;
+        }
+        k += 1;
+    }
+    (k + 1).min(n)
+}
+
+/// Recognise `rvs-lint:` directives inside one line comment body.
+fn parse_annotation(line: u32, body: &str) -> Option<Annotation> {
+    // Doc comments add a third `/` or a `!`; both land in `body`.
+    let text = body.trim_start_matches(['/', '!']).trim();
+    let rest = text.strip_prefix("rvs-lint:")?.trim();
+    let (file_scoped, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("allow(") {
+        (false, r)
+    } else {
+        return Some(Annotation {
+            line,
+            file_scoped: false,
+            rules: Vec::new(),
+            justification: None,
+            error: Some(format!(
+                "unrecognised rvs-lint directive (expected `allow(...)` or `allow-file(...)`): `{text}`"
+            )),
+        });
+    };
+    let Some(close) = rest.find(')') else {
+        return Some(Annotation {
+            line,
+            file_scoped,
+            rules: Vec::new(),
+            justification: None,
+            error: Some("unterminated rule list in rvs-lint annotation".to_string()),
+        });
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let tail = rest[close + 1..].trim();
+    let justification = tail
+        .strip_prefix("--")
+        .map(|j| j.trim().to_string())
+        .filter(|j| !j.is_empty());
+    Some(Annotation {
+        line,
+        file_scoped,
+        rules,
+        justification,
+        error: None,
+    })
+}
+
+/// For every token, whether it sits inside a `#[cfg(test)]` item (a `mod
+/// tests { ... }` block, a test fn, or a `use` pulled in for tests only).
+pub fn test_spans(toks: &[Tok]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let is = |k: usize, s: &str| toks.get(k).map(|t| t.text == s).unwrap_or(false);
+    let mut i = 0;
+    while i < toks.len() {
+        // Match `# [ cfg ( test ) ]` exactly.
+        if is(i, "#")
+            && is(i + 1, "[")
+            && is(i + 2, "cfg")
+            && is(i + 3, "(")
+            && is(i + 4, "test")
+            && is(i + 5, ")")
+            && is(i + 6, "]")
+        {
+            let mut j = i + 7;
+            // Skip any further attributes on the same item.
+            while is(j, "#") && is(j + 1, "[") {
+                let mut depth = 0;
+                j += 1;
+                while j < toks.len() {
+                    if toks[j].text == "[" {
+                        depth += 1;
+                    } else if toks[j].text == "]" {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            // The item body: everything to the first `;` or the matching
+            // close of the first `{`.
+            let mut k = j;
+            let mut end = toks.len();
+            while k < toks.len() {
+                if toks[k].text == ";" {
+                    end = k + 1;
+                    break;
+                }
+                if toks[k].text == "{" {
+                    let mut depth = 0;
+                    while k < toks.len() {
+                        if toks[k].text == "{" {
+                            depth += 1;
+                        } else if toks[k].text == "}" {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    end = (k + 1).min(toks.len());
+                    break;
+                }
+                k += 1;
+            }
+            for flag in in_test.iter_mut().take(end).skip(i) {
+                *flag = true;
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashSet in /* a nested */ block */
+            let s = "HashMap::new()";
+            let r = r#"thread_rng "quoted" inside"#;
+            let c = 'H';
+            let real = BTreeMap::new();
+        "##;
+        let t = texts(src);
+        assert!(!t.iter().any(|x| x == "HashMap"));
+        assert!(!t.iter().any(|x| x == "HashSet"));
+        assert!(!t.iter().any(|x| x == "thread_rng"));
+        assert!(t.iter().any(|x| x == "BTreeMap"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let t = texts("fn f<'a>(x: &'a str) -> Instant { Instant::now() }");
+        let joined = t.join(" ");
+        assert!(joined.contains("Instant :: now"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_tokens() {
+        let t = texts("let r#type = 1;");
+        assert!(t.iter().any(|x| x == "type"));
+    }
+
+    #[test]
+    fn annotations_parse() {
+        let l = lex(
+            "// rvs-lint: allow(hash-container, wall-clock) -- seed-independent set\nlet x = 1;",
+        );
+        assert_eq!(l.annotations.len(), 1);
+        let a = &l.annotations[0];
+        assert_eq!(a.rules, vec!["hash-container", "wall-clock"]);
+        assert_eq!(a.justification.as_deref(), Some("seed-independent set"));
+        assert!(!a.file_scoped);
+        assert!(a.error.is_none());
+    }
+
+    #[test]
+    fn annotation_without_justification_is_flagged_empty() {
+        let l = lex("// rvs-lint: allow(wall-clock)\n");
+        assert_eq!(l.annotations[0].justification, None);
+    }
+
+    #[test]
+    fn test_spans_cover_cfg_test_mod() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn b() { y.unwrap(); } }";
+        let lexed = lex(src);
+        let spans = test_spans(&lexed.toks);
+        let unwraps: Vec<bool> = lexed
+            .toks
+            .iter()
+            .zip(&spans)
+            .filter(|(t, _)| t.text == "unwrap")
+            .map(|(_, &s)| s)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+    }
+}

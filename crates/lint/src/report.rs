@@ -1,0 +1,145 @@
+//! Findings and report rendering (text and machine-readable JSON).
+
+/// One lint finding. `justification` is set when an `rvs-lint: allow`
+/// annotation covers the site — the finding is then reported but does not
+/// fail `--deny-findings`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (e.g. `hash-container`).
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number (0 for file-level cross-check findings).
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The written justification from a covering allow annotation, if any.
+    pub justification: Option<String>,
+}
+
+impl Finding {
+    /// A new unjustified finding.
+    pub fn new(rule: &str, file: &str, line: u32, message: impl Into<String>) -> Self {
+        Finding {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            message: message.into(),
+            justification: None,
+        }
+    }
+}
+
+/// A full lint run over the workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Findings not covered by a justified allow annotation.
+    pub fn unjustified(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.justification.is_none())
+    }
+
+    /// Number of unjustified findings (what `--deny-findings` gates on).
+    pub fn unjustified_count(&self) -> usize {
+        self.unjustified().count()
+    }
+
+    /// Render the report as pretty JSON (hand-rolled: this crate is
+    /// zero-dependency by design).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"rule\": {}, ", json_str(&f.rule)));
+            out.push_str(&format!("\"file\": {}, ", json_str(&f.file)));
+            out.push_str(&format!("\"line\": {}, ", f.line));
+            out.push_str(&format!("\"message\": {}, ", json_str(&f.message)));
+            match &f.justification {
+                Some(j) => out.push_str(&format!("\"justification\": {}", json_str(j))),
+                None => out.push_str("\"justification\": null"),
+            }
+            out.push('}');
+            if i + 1 < self.findings.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"total\": {},\n", self.findings.len()));
+        out.push_str(&format!(
+            "  \"unjustified\": {}\n",
+            self.unjustified_count()
+        ));
+        out.push('}');
+        out
+    }
+
+    /// Render the report as human-readable text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            match &f.justification {
+                None => out.push_str(&format!(
+                    "{}:{}: [{}] {}\n",
+                    f.file, f.line, f.rule, f.message
+                )),
+                Some(j) => out.push_str(&format!(
+                    "{}:{}: [{}] allowed: {}\n",
+                    f.file, f.line, f.rule, j
+                )),
+            }
+        }
+        let justified = self.findings.len() - self.unjustified_count();
+        out.push_str(&format!(
+            "rvs-lint: {} finding(s), {} unjustified, {} justified by annotation\n",
+            self.findings.len(),
+            self.unjustified_count(),
+            justified
+        ));
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn counts_split_by_justification() {
+        let mut r = Report::default();
+        r.findings.push(Finding::new("x", "f.rs", 1, "m"));
+        let mut ok = Finding::new("x", "f.rs", 2, "m");
+        ok.justification = Some("fine".to_string());
+        r.findings.push(ok);
+        assert_eq!(r.unjustified_count(), 1);
+        assert!(r.to_json().contains("\"unjustified\": 1"));
+    }
+}

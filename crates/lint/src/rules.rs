@@ -1,0 +1,289 @@
+//! Rule definitions and the per-file token rule engine.
+//!
+//! Token rules are declarative: a rule is a set of banned token sequences,
+//! a crate scope, and whether it also applies inside `#[cfg(test)]` code
+//! and test/bench source trees. The engine matches sequences against the
+//! lexer's normalized token stream and applies `// rvs-lint: allow(...)`
+//! annotations (which require a written justification after `--`).
+
+use crate::lexer::{self, Annotation};
+use crate::report::Finding;
+use std::collections::BTreeMap;
+
+/// Crates holding protocol logic whose runs must be bit-reproducible. The
+/// determinism and panic-surface rules are strictest here.
+pub const PROTOCOL_CRATES: &[&str] = &["core", "modcast", "pss", "bartercast", "sim", "bittorrent"];
+
+/// Which part of the workspace a rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Only the protocol crates ([`PROTOCOL_CRATES`]).
+    Protocol,
+    /// Every workspace source file the lint walks (compat/ excluded).
+    Workspace,
+}
+
+/// A declarative token-sequence rule.
+#[derive(Debug)]
+pub struct TokenRule {
+    /// Stable rule id, used in findings and `allow(...)` annotations.
+    pub id: &'static str,
+    /// Where the rule applies.
+    pub scope: Scope,
+    /// Whether the rule also fires inside `#[cfg(test)]` items and files
+    /// under `tests/`, `benches/`, or `examples/`.
+    pub include_tests: bool,
+    /// Banned token sequences (each element matches one normalized token).
+    pub patterns: &'static [&'static [&'static str]],
+    /// Why the construct is banned and what to use instead.
+    pub rationale: &'static str,
+}
+
+/// All token rules, in reporting order.
+pub const TOKEN_RULES: &[TokenRule] = &[
+    TokenRule {
+        id: "hash-container",
+        scope: Scope::Workspace,
+        include_tests: true,
+        patterns: &[&["HashMap"], &["HashSet"]],
+        rationale:
+            "std hash containers iterate in RandomState order, which breaks bit-reproducible \
+                    runs; use BTreeMap/BTreeSet or a sorted+deduped Vec",
+    },
+    TokenRule {
+        id: "wall-clock",
+        scope: Scope::Workspace,
+        include_tests: true,
+        patterns: &[&["Instant", "::", "now"], &["SystemTime"]],
+        rationale: "wall-clock reads make runs irreproducible; simulation time must come from \
+                    rvs_sim::SimTime and profiling belongs behind telemetry's gated PhaseTimer",
+    },
+    TokenRule {
+        id: "ambient-rng",
+        scope: Scope::Workspace,
+        include_tests: true,
+        patterns: &[
+            &["thread_rng"],
+            &["ThreadRng"],
+            &["from_entropy"],
+            &["OsRng"],
+            &["getrandom"],
+        ],
+        rationale: "ambient entropy bypasses the seeded, forked DetRng streams every stochastic \
+                    choice must flow through; plumb a DetRng instead",
+    },
+    TokenRule {
+        id: "ambient-env",
+        scope: Scope::Workspace,
+        include_tests: true,
+        patterns: &[&["std", "::", "env"]],
+        rationale: "process environment reads make behaviour depend on invocation context; \
+                    restrict std::env to annotated CLI entry points",
+    },
+    TokenRule {
+        id: "ambient-thread",
+        scope: Scope::Workspace,
+        include_tests: true,
+        patterns: &[&["std", "::", "thread"]],
+        rationale: "the DES core is single-threaded by design; threads are only justified in the \
+                    annotated fan-out harness whose determinism is proven by tests",
+    },
+    TokenRule {
+        id: "panic-surface",
+        scope: Scope::Protocol,
+        include_tests: false,
+        patterns: &[
+            &[".", "unwrap", "(", ")"],
+            &[".", "expect", "("],
+            &["panic", "!"],
+            &["unreachable", "!"],
+            &["todo", "!"],
+            &["unimplemented", "!"],
+        ],
+        rationale: "protocol crates gossip adversarial input; a reachable panic is a remote \
+                    crash — return Option/Result or handle the case explicitly \
+                    (assert!/debug_assert! for documented invariants are permitted)",
+    },
+];
+
+/// Rule ids that exist only as cross-file checks (valid in annotations).
+pub const CROSS_CHECK_RULES: &[&str] = &["telemetry-coverage", "config-drift"];
+
+/// Is `rule` a known rule id (token or cross-check)?
+pub fn known_rule(rule: &str) -> bool {
+    TOKEN_RULES.iter().any(|r| r.id == rule) || CROSS_CHECK_RULES.contains(&rule)
+}
+
+/// How a file is classified before rules run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileClass {
+    /// Crate directory name under `crates/`, or `"root"` for the facade
+    /// package (`src/`, `tests/`, `examples/`).
+    pub crate_name: String,
+    /// Whether the crate is one of [`PROTOCOL_CRATES`].
+    pub protocol: bool,
+    /// Whole file is test/bench scope (under `tests/`, `benches/`, or
+    /// `examples/`).
+    pub test_file: bool,
+}
+
+/// Classify a workspace-relative path like `crates/core/src/vote.rs`.
+pub fn classify(rel_path: &str) -> FileClass {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let crate_name = if parts.first() == Some(&"crates") && parts.len() > 1 {
+        parts[1].to_string()
+    } else {
+        "root".to_string()
+    };
+    let protocol = PROTOCOL_CRATES.contains(&crate_name.as_str());
+    let test_file = parts
+        .iter()
+        .any(|p| *p == "tests" || *p == "benches" || *p == "examples");
+    FileClass {
+        crate_name,
+        protocol,
+        test_file,
+    }
+}
+
+/// Suppression state assembled from a file's annotations.
+struct Allows {
+    /// rule -> justification, file-wide.
+    file: BTreeMap<String, String>,
+    /// (rule, line) -> justification; an annotation on line L covers
+    /// findings on lines L and L+1.
+    lines: BTreeMap<(String, u32), String>,
+}
+
+fn collect_allows(
+    rel_path: &str,
+    annotations: &[Annotation],
+    findings: &mut Vec<Finding>,
+) -> Allows {
+    let mut allows = Allows {
+        file: BTreeMap::new(),
+        lines: BTreeMap::new(),
+    };
+    for a in annotations {
+        if let Some(err) = &a.error {
+            findings.push(Finding::new(
+                "lint-annotation",
+                rel_path,
+                a.line,
+                err.clone(),
+            ));
+            continue;
+        }
+        if a.justification.is_none() {
+            findings.push(Finding::new(
+                "lint-annotation",
+                rel_path,
+                a.line,
+                "rvs-lint allow annotation is missing its `-- <justification>`; every exception \
+                 must say why it is sound"
+                    .to_string(),
+            ));
+            continue;
+        }
+        let just = a.justification.clone().unwrap_or_default();
+        for rule in &a.rules {
+            if !known_rule(rule) {
+                findings.push(Finding::new(
+                    "lint-annotation",
+                    rel_path,
+                    a.line,
+                    format!("unknown rule `{rule}` in rvs-lint allow annotation"),
+                ));
+                continue;
+            }
+            if a.file_scoped {
+                allows.file.insert(rule.clone(), just.clone());
+            } else {
+                allows.lines.insert((rule.clone(), a.line), just.clone());
+                allows
+                    .lines
+                    .insert((rule.clone(), a.line + 1), just.clone());
+            }
+        }
+    }
+    allows
+}
+
+/// Run every applicable token rule over one file's source text.
+///
+/// `rel_path` is workspace-relative and determines crate scoping; the
+/// returned findings include justified ones (with their justification
+/// attached) so reports can show the full exception surface.
+pub fn check_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let class = classify(rel_path);
+    let lexed = lexer::lex(src);
+    let in_test = lexer::test_spans(&lexed.toks);
+    let mut findings = Vec::new();
+    let allows = collect_allows(rel_path, &lexed.annotations, &mut findings);
+
+    for rule in TOKEN_RULES {
+        let in_scope = match rule.scope {
+            Scope::Protocol => class.protocol,
+            Scope::Workspace => true,
+        };
+        if !in_scope || (!rule.include_tests && class.test_file) {
+            continue;
+        }
+        for pattern in rule.patterns {
+            let mut i = 0;
+            while i + pattern.len() <= lexed.toks.len() {
+                let matched = pattern
+                    .iter()
+                    .enumerate()
+                    .all(|(k, want)| lexed.toks[i + k].text == *want);
+                if !matched {
+                    i += 1;
+                    continue;
+                }
+                if !rule.include_tests && in_test[i] {
+                    i += pattern.len();
+                    continue;
+                }
+                let line = lexed.toks[i].line;
+                let shown = pattern.join("");
+                let mut f = Finding::new(
+                    rule.id,
+                    rel_path,
+                    line,
+                    format!("`{shown}` is banned here: {}", rule.rationale),
+                );
+                if let Some(just) = allows
+                    .lines
+                    .get(&(rule.id.to_string(), line))
+                    .or_else(|| allows.file.get(rule.id))
+                {
+                    f.justification = Some(just.clone());
+                }
+                findings.push(f);
+                i += pattern.len();
+            }
+        }
+    }
+    // Scanning goes rule-by-rule; present findings in source order.
+    findings.sort_by(|a, b| (a.line, &a.rule, &a.message).cmp(&(b.line, &b.rule, &b.message)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        let c = classify("crates/core/src/vote.rs");
+        assert_eq!(c.crate_name, "core");
+        assert!(c.protocol && !c.test_file);
+        let t = classify("crates/bartercast/tests/proptests.rs");
+        assert!(t.protocol && t.test_file);
+        let r = classify("src/bin/rvs.rs");
+        assert_eq!(r.crate_name, "root");
+        assert!(!r.protocol);
+        let e = classify("examples/quickstart.rs");
+        assert!(e.test_file);
+    }
+}

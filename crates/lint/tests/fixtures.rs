@@ -1,0 +1,226 @@
+//! Fixture tests: one small source snippet per rule, checked through the
+//! public [`rvs_lint::check_source`] entry point exactly as the engine
+//! runs it over real workspace files.
+
+use rvs_lint::{check_source, Finding};
+
+fn rules_of(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+fn unjustified(findings: &[Finding]) -> Vec<&Finding> {
+    findings
+        .iter()
+        .filter(|f| f.justification.is_none())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Determinism family
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hash_map_and_set_fire_everywhere() {
+    let src = "use std::collections::{HashMap, HashSet};\n";
+    for path in [
+        "crates/core/src/x.rs",    // protocol crate
+        "crates/metrics/src/x.rs", // non-protocol crate
+        "tests/integration.rs",    // root integration test
+    ] {
+        let f = check_source(path, src);
+        assert_eq!(
+            rules_of(&f),
+            vec!["hash-container", "hash-container"],
+            "{path}"
+        );
+    }
+}
+
+#[test]
+fn hash_container_fires_even_in_test_modules() {
+    let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+    let f = check_source("crates/core/src/x.rs", src);
+    assert_eq!(rules_of(&f), vec!["hash-container"]);
+}
+
+#[test]
+fn wall_clock_fires_on_instant_now_and_system_time() {
+    let src = "fn f() { let t = std::time::Instant::now(); }\n\
+               fn g() { let s = std::time::SystemTime::UNIX_EPOCH; }\n";
+    let f = check_source("crates/sim/src/x.rs", src);
+    assert_eq!(rules_of(&f), vec!["wall-clock", "wall-clock"]);
+    assert_eq!(f[0].line, 1);
+    assert_eq!(f[1].line, 2);
+}
+
+#[test]
+fn instant_type_alone_is_not_flagged() {
+    // Only *reading* the wall clock is nondeterministic; storing a
+    // caller-supplied Instant is not.
+    let src = "pub struct S { t: std::time::Instant }\n";
+    let f = check_source("crates/core/src/x.rs", src);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn ambient_rng_fires_on_thread_rng_and_entropy() {
+    let src = "fn f() { let mut r = rand::thread_rng(); }\n\
+               fn g() { let r = SmallRng::from_entropy(); }\n";
+    let f = check_source("crates/pss/src/x.rs", src);
+    assert_eq!(rules_of(&f), vec!["ambient-rng", "ambient-rng"]);
+}
+
+#[test]
+fn ambient_env_and_thread_fire() {
+    let src = "fn f() { let p = std::env::var(\"HOME\"); }\n\
+               fn g() { std::thread::sleep(std::time::Duration::ZERO); }\n";
+    let f = check_source("crates/scenario/src/x.rs", src);
+    assert_eq!(rules_of(&f), vec!["ambient-env", "ambient-thread"]);
+}
+
+// ---------------------------------------------------------------------------
+// Panic-surface family
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panic_surface_fires_in_protocol_crates_only() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert_eq!(
+        rules_of(&check_source("crates/core/src/x.rs", src)),
+        vec!["panic-surface"]
+    );
+    assert_eq!(
+        rules_of(&check_source("crates/bartercast/src/x.rs", src)),
+        vec!["panic-surface"]
+    );
+    // Non-protocol crates (metrics, bench, attacks, …) may panic freely.
+    assert!(check_source("crates/metrics/src/x.rs", src).is_empty());
+    assert!(check_source("crates/bench/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn panic_surface_skips_test_code() {
+    let src = "pub fn f() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   #[test]\n\
+                   fn t() { Some(1).unwrap(); panic!(\"fine in tests\"); }\n\
+               }\n";
+    assert!(check_source("crates/core/src/x.rs", src).is_empty());
+    // Integration-test files of a protocol crate are test code wholesale.
+    assert!(check_source("crates/core/tests/t.rs", "fn f() { panic!(); }\n").is_empty());
+}
+
+#[test]
+fn panic_surface_catches_the_whole_family() {
+    let src = "fn a(x: Option<u32>) -> u32 { x.unwrap() }\n\
+               fn b(x: Option<u32>) -> u32 { x.expect(\"msg\") }\n\
+               fn c() { panic!(\"boom\") }\n\
+               fn d() { unreachable!() }\n\
+               fn e() { todo!() }\n";
+    let f = check_source("crates/modcast/src/x.rs", src);
+    assert_eq!(f.len(), 5, "{f:?}");
+    assert!(f.iter().all(|x| x.rule == "panic-surface"));
+}
+
+#[test]
+fn unwrap_as_identifier_fragment_is_not_flagged() {
+    // `unwrap_or` / `unwrap_or_default` are panic-free; only the exact
+    // `.unwrap()` call fires.
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n\
+               fn g(x: Option<u32>) -> u32 { x.unwrap_or_default() }\n";
+    assert!(check_source("crates/core/src/x.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Annotations
+// ---------------------------------------------------------------------------
+
+#[test]
+fn line_annotation_justifies_next_line() {
+    let src = "// rvs-lint: allow(hash-container) -- iteration order never observed\n\
+               use std::collections::HashMap;\n";
+    let f = check_source("crates/core/src/x.rs", src);
+    assert_eq!(f.len(), 1);
+    assert_eq!(
+        f[0].justification.as_deref(),
+        Some("iteration order never observed")
+    );
+    assert!(unjustified(&f).is_empty());
+}
+
+#[test]
+fn annotation_does_not_leak_past_its_scope() {
+    let src = "// rvs-lint: allow(hash-container) -- only this one\n\
+               use std::collections::HashMap;\n\
+               use std::collections::HashSet;\n";
+    let f = check_source("crates/core/src/x.rs", src);
+    assert_eq!(f.len(), 2);
+    assert_eq!(unjustified(&f).len(), 1, "third line is NOT covered");
+    assert_eq!(unjustified(&f)[0].line, 3);
+}
+
+#[test]
+fn annotation_for_a_different_rule_does_not_apply() {
+    let src = "// rvs-lint: allow(wall-clock) -- wrong rule\n\
+               use std::collections::HashMap;\n";
+    let f = check_source("crates/core/src/x.rs", src);
+    assert_eq!(unjustified(&f).len(), 1);
+}
+
+#[test]
+fn file_annotation_covers_whole_file() {
+    let src = "// rvs-lint: allow-file(hash-container) -- cardinality-only sets\n\
+               use std::collections::HashMap;\n\
+               fn f() { let s: std::collections::HashMap<u8, u8> = Default::default(); s.len(); }\n";
+    let f = check_source("crates/core/src/x.rs", src);
+    assert!(!f.is_empty());
+    assert!(unjustified(&f).is_empty(), "{f:?}");
+}
+
+#[test]
+fn annotation_without_justification_is_a_finding() {
+    let src = "// rvs-lint: allow(hash-container)\n\
+               use std::collections::HashMap;\n";
+    let f = check_source("crates/core/src/x.rs", src);
+    assert!(
+        f.iter().any(|x| x.rule == "lint-annotation"),
+        "bare allow must be flagged: {f:?}"
+    );
+}
+
+#[test]
+fn annotation_with_unknown_rule_is_a_finding() {
+    let src = "// rvs-lint: allow(made-up-rule) -- sounds official\nfn f() {}\n";
+    let f = check_source("crates/core/src/x.rs", src);
+    assert!(f.iter().any(|x| x.rule == "lint-annotation"), "{f:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Lexer integration: banned names in non-code positions never fire
+// ---------------------------------------------------------------------------
+
+#[test]
+fn strings_comments_and_raw_strings_never_fire() {
+    let src = concat!(
+        "fn f() {\n",
+        "    let a = \"HashMap and Instant::now() and .unwrap()\";\n",
+        "    // HashSet thread_rng SystemTime panic!()\n",
+        "    /* std::env::var /* nested HashMap */ still comment */\n",
+        "    let b = r#\"raw HashMap with \" quote\"#;\n",
+        "    let c = r##\"fences: \"# is not the end, HashSet\"##;\n",
+        "    let d = 'h';\n",
+        "}\n"
+    );
+    let f = check_source("crates/core/src/x.rs", src);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn lifetime_quote_does_not_swallow_code() {
+    // A naive char-literal skipper would treat `'a` as an unterminated char
+    // and skip real code containing a violation.
+    let src = "fn f<'a>(x: &'a Option<u32>) -> u32 { x.unwrap() }\n";
+    let f = check_source("crates/core/src/x.rs", src);
+    assert_eq!(rules_of(&f), vec!["panic-surface"]);
+}

@@ -1,0 +1,104 @@
+//! Property tests for the lexer-backed rule engine: banned names placed
+//! in *non-code* positions (string literals, line/block/nested comments,
+//! raw strings with arbitrary `#` fences) must never produce findings,
+//! while the same names in code positions always do — across randomly
+//! generated interleavings of both.
+//!
+//! The compat `proptest` has no string strategies, so documents are built
+//! by mapping generated small integers onto fragment alphabets.
+
+use proptest::prelude::*;
+use rvs_lint::check_source;
+
+/// Banned names drawn from every determinism rule family.
+const BANNED: &[&str] = &["HashMap", "HashSet", "SystemTime", "thread_rng"];
+
+/// Render one *inert* fragment: the banned name appears only inside a
+/// string/comment/raw-string where the lexer must swallow it.
+fn inert_fragment(kind: u8, banned: &str, label: usize) -> String {
+    match kind % 7 {
+        0 => format!("    let s{label} = \"{banned} inside a string\";\n"),
+        1 => format!("    // {banned} inside a line comment\n"),
+        2 => format!("    /* {banned} inside a block comment */\n"),
+        3 => format!("    /* outer /* nested {banned} */ tail */\n"),
+        4 => format!("    let r{label} = r#\"{banned} with a \" quote\"#;\n"),
+        5 => format!("    let r{label} = r##\"fence: \"# not the end {banned}\"##;\n"),
+        _ => format!("    let e{label} = \"esc \\\" {banned} \\\\\";\n"),
+    }
+}
+
+/// Render one *live* fragment: the banned name as a real code token.
+fn live_fragment(banned: &str, label: usize) -> String {
+    format!("    let v{label}: Option<{banned}> = None;\n")
+}
+
+fn doc(body: &str) -> String {
+    format!("fn generated() {{\n{body}}}\n")
+}
+
+proptest! {
+    /// Any interleaving of inert fragments lints clean.
+    #[test]
+    fn inert_fragments_never_fire(
+        kinds in prop::collection::vec((0u8..7, 0usize..4), 1..12)
+    ) {
+        let mut body = String::new();
+        for (i, &(kind, which)) in kinds.iter().enumerate() {
+            body.push_str(&inert_fragment(kind, BANNED[which], i));
+        }
+        let src = doc(&body);
+        let findings = check_source("crates/core/src/generated.rs", &src);
+        prop_assert!(
+            findings.is_empty(),
+            "inert document produced findings: {findings:?}\nsource:\n{src}"
+        );
+    }
+
+    /// Sprinkling live violations among inert fragments fires exactly one
+    /// finding per live fragment, each on the right line.
+    #[test]
+    fn live_fragments_always_fire(
+        fragments in prop::collection::vec((0u8..8, 0usize..4), 1..12)
+    ) {
+        let mut body = String::new();
+        let mut expect_lines = Vec::new();
+        for (i, &(kind, which)) in fragments.iter().enumerate() {
+            // kind 7 = live; 0..7 = the inert alphabet.
+            if kind == 7 {
+                // Line numbers are 1-based and the doc wrapper adds one line.
+                expect_lines.push((i + 2) as u32);
+                body.push_str(&live_fragment(BANNED[which], i));
+            } else {
+                body.push_str(&inert_fragment(kind, BANNED[which], i));
+            }
+        }
+        let src = doc(&body);
+        let findings = check_source("crates/core/src/generated.rs", &src);
+        let got: Vec<u32> = findings.iter().map(|f| f.line).collect();
+        prop_assert_eq!(
+            got, expect_lines,
+            "live fragments must fire once each, in order\nsource:\n{}", src
+        );
+    }
+
+    /// An allow annotation with a justification suppresses exactly the
+    /// next line, whatever inert noise surrounds it.
+    #[test]
+    fn annotation_suppresses_exactly_next_line(
+        prefix in prop::collection::vec((0u8..7, 0usize..4), 0..5),
+        which in 0usize..4,
+    ) {
+        let mut body = String::new();
+        for (i, &(kind, w)) in prefix.iter().enumerate() {
+            body.push_str(&inert_fragment(kind, BANNED[w], i));
+        }
+        body.push_str("    // rvs-lint: allow(hash-container, wall-clock, ambient-rng) -- generated fixture\n");
+        body.push_str(&live_fragment(BANNED[which], 99));
+        let src = doc(&body);
+        let findings = check_source("crates/core/src/generated.rs", &src);
+        prop_assert!(
+            findings.iter().all(|f| f.justification.is_some()),
+            "annotated violation must be justified: {findings:?}\nsource:\n{src}"
+        );
+    }
+}

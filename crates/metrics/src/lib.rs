@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 //! Evaluation metrics for the reproduction experiments.
 //!
 //! * [`cev`] — the Collective Experience Value of §VI-A (Figure 5): the

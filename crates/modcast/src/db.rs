@@ -366,7 +366,7 @@ mod tests {
             db.insert(item(&reg, 1, s, 1), SimTime::from_hours(1));
         }
         let mut rng = DetRng::new(4);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..60 {
             for m in db.extract(5, ExtractPolicy::Random, &mut rng) {
                 seen.insert(m.seq);

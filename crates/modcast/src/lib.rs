@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 //! ModerationCast: decentralized dissemination of signed metadata
 //! (paper §IV).
 //!

@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 //! Peer Sampling Service (PSS).
 //!
 //! All three of the paper's protocols (ModerationCast, BallotBox,

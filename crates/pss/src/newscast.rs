@@ -239,7 +239,7 @@ mod tests {
     #[test]
     fn samples_cover_most_of_population() {
         let (mut pss, mut rng) = converged(40, 40, 2);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut now = SimTime::from_hours(1);
         // Keep gossiping while sampling so views keep rotating.
         for _ in 0..200 {

@@ -184,11 +184,11 @@ mod tests {
         pss.set_offline(NodeId(2));
         pss.set_offline(NodeId(0));
         let mut rng = DetRng::new(9);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..1_000 {
             seen.insert(pss.sample(NodeId(5), &mut rng).unwrap());
         }
-        let expect: std::collections::HashSet<NodeId> =
+        let expect: std::collections::BTreeSet<NodeId> =
             [NodeId(1), NodeId(3), NodeId(4)].into_iter().collect();
         assert_eq!(seen, expect);
     }

@@ -6,6 +6,7 @@
 //! closures may borrow the (read-only) configuration from the caller's
 //! stack, and collect results through a `std::sync::Mutex`, preserving
 //! run order by index.
+// rvs-lint: allow-file(ambient-thread) -- scoped fan-out over independent runs; determinism is proven by the parallel_determinism tests (results depend only on run index, never on scheduling)
 
 use std::sync::Mutex;
 

@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 //! Full-system wiring and the paper's experiments.
 //!
 //! [`System`] assembles every substrate — trace-driven churn, piece-level

@@ -91,20 +91,17 @@ impl<E> Engine<E> {
     /// the next event lies at/after the horizon (the clock then advances to
     /// the horizon).
     pub fn next_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
-        match self.queue.peek_time() {
-            Some(t) if t < horizon => {
-                let (t, e) = self.queue.pop().expect("peeked event must pop");
+        if matches!(self.queue.peek_time(), Some(t) if t < horizon) {
+            if let Some((t, e)) = self.queue.pop() {
                 self.now = t;
                 self.processed += 1;
-                Some((t, e))
-            }
-            _ => {
-                if horizon > self.now && horizon != SimTime::MAX {
-                    self.now = horizon;
-                }
-                None
+                return Some((t, e));
             }
         }
+        if horizon > self.now && horizon != SimTime::MAX {
+            self.now = horizon;
+        }
+        None
     }
 
     /// Run the event loop until `horizon` (exclusive), calling `handler` for

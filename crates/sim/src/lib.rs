@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 //! Deterministic discrete-event simulation (DES) foundation for the
 //! robust-vote-sampling workspace.
 //!

@@ -168,14 +168,17 @@ counter_block! {
 pub struct SharedCounter(AtomicU64);
 
 impl SharedCounter {
+    /// Add one.
     pub fn incr(&self) {
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Add `n`.
     pub fn add(&self, n: u64) {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -201,11 +204,17 @@ impl Clone for SharedCounter {
 /// is not associative.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Snapshot {
+    /// Encounter-layer counters.
     pub encounters: EncounterCounters,
+    /// ModerationCast counters.
     pub moderation: ModerationCounters,
+    /// Vote-sampling counters.
     pub votes: VoteCounters,
+    /// VoxPopuli counters.
     pub voxpopuli: VoxPopuliCounters,
+    /// BarterCast counters.
     pub barter: BarterCounters,
+    /// Peer-sampling-service counters.
     pub pss: PssCounters,
     /// Wall-clock time per named phase, in nanoseconds.
     pub phase_nanos: BTreeMap<String, u64>,
@@ -295,6 +304,7 @@ pub struct PhaseTimer {
 }
 
 impl PhaseTimer {
+    /// A timer with no banked phases and nothing in flight.
     pub fn new() -> Self {
         Self::default()
     }
@@ -305,6 +315,7 @@ impl PhaseTimer {
             return;
         }
         self.stop();
+        // rvs-lint: allow(wall-clock) -- phase timers are perf instrumentation, gated behind set_enabled and excluded from deterministic comparisons via counters_only
         self.current = Some((phase.to_string(), Instant::now()));
     }
 
@@ -322,6 +333,7 @@ impl PhaseTimer {
         if !enabled() {
             return f();
         }
+        // rvs-lint: allow(wall-clock) -- perf instrumentation only; never feeds protocol state or deterministic output
         let began = Instant::now();
         let out = f();
         let nanos = u64::try_from(began.elapsed().as_nanos()).unwrap_or(u64::MAX);

@@ -431,7 +431,8 @@ mod tests {
         let cfg = TraceGenConfig::filelist_like();
         let t = cfg.generate(9);
         let order = t.arrival_order();
-        let founders: std::collections::HashSet<_> = order.iter().take(cfg.founder_count).collect();
+        let founders: std::collections::BTreeSet<_> =
+            order.iter().take(cfg.founder_count).collect();
         for s in &t.swarms {
             assert!(
                 founders.contains(&s.initial_seeder),

@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 //! Peer churn traces for driving the BitTorrent / gossip simulations.
 //!
 //! The paper's evaluation replays real traces from the private tracker

@@ -24,6 +24,7 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // rvs-lint: allow(ambient-env) -- CLI argument parsing at the binary entry point
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!("{USAGE}");

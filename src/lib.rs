@@ -1,4 +1,3 @@
-#![warn(missing_docs)]
 //! # robust-vote-sampling
 //!
 //! A production-quality Rust reproduction of *"Robust vote sampling in a P2P
