@@ -1,0 +1,76 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented public items
+
+//! Fault-plane overhead: the same full-stack run with (a) no fault plane,
+//! (b) an inert plane (every delivery consults `FaultPlane::decide`, zero
+//! faults fire), and (c) a latency-jitter schedule that routes every
+//! delivery through the event engine. (a) vs (b) is the zero-fault
+//! overhead claim: the two must be within noise of each other.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rvs_faults::{FaultConfig, FaultSchedule};
+use rvs_scenario::experiments::vote_sampling::fig6_setup;
+use rvs_scenario::{ProtocolConfig, System};
+use rvs_sim::{SimDuration, SimTime};
+use rvs_trace::TraceGenConfig;
+
+fn bench_faults(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faults");
+    group.sample_size(10);
+    let trace_cfg = TraceGenConfig::quick(16, SimDuration::from_hours(6));
+    let trace = trace_cfg.generate(5);
+    let (setup, m) = fig6_setup(&trace, 0.25, 0.25, 5);
+    let protocol = ProtocolConfig::default();
+    let jittery = FaultSchedule {
+        config: FaultConfig {
+            base_latency_ms: 5_000,
+            jitter_spread: 1.0,
+            ..FaultConfig::default()
+        },
+        ..FaultSchedule::default()
+    };
+
+    group.bench_function("no_plane_16peers_6h", |b| {
+        b.iter(|| {
+            let mut system = System::new(trace.clone(), protocol, setup.clone(), 5);
+            system.run_until(
+                SimTime::from_hours(6),
+                SimDuration::from_hours(6),
+                |_, _| {},
+            );
+            black_box(system.ordering_accuracy(&m))
+        });
+    });
+    group.bench_function("inert_plane_16peers_6h", |b| {
+        b.iter(|| {
+            let mut system = System::with_faults(
+                trace.clone(),
+                protocol,
+                setup.clone(),
+                5,
+                FaultSchedule::inert(),
+            );
+            system.run_until(
+                SimTime::from_hours(6),
+                SimDuration::from_hours(6),
+                |_, _| {},
+            );
+            black_box(system.ordering_accuracy(&m))
+        });
+    });
+    group.bench_function("latency_jitter_16peers_6h", |b| {
+        b.iter(|| {
+            let mut system =
+                System::with_faults(trace.clone(), protocol, setup.clone(), 5, jittery.clone());
+            system.run_until(
+                SimTime::from_hours(6),
+                SimDuration::from_hours(6),
+                |_, _| {},
+            );
+            black_box(system.ordering_accuracy(&m))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_faults);
+criterion_main!(benches);

@@ -123,6 +123,16 @@ impl VoteSampling {
         self.ballots[i.index()].unique_voters() < self.cfg.b_min
     }
 
+    /// Crash-restart node `i`: wipe its volatile vote-sampling state (the
+    /// in-memory ballot box and VoxPopuli cache), returning it to the
+    /// bootstrapping phase. Persistent state — the BarterCast graph and
+    /// signed moderations, which Tribler keeps on disk across sessions —
+    /// lives in other layers and is untouched by design.
+    pub fn crash_reset(&mut self, i: NodeId) {
+        self.ballots[i.index()] = BallotBox::new(self.cfg.b_max);
+        self.vox[i.index()].clear();
+    }
+
     /// Build node `i`'s outgoing local vote list from its ModerationCast
     /// database (its own first-hand votes), applying the per-message
     /// budget and selection policy.

@@ -12,7 +12,15 @@ use std::collections::BTreeMap;
 
 /// Crates holding protocol logic whose runs must be bit-reproducible. The
 /// determinism and panic-surface rules are strictest here.
-pub const PROTOCOL_CRATES: &[&str] = &["core", "modcast", "pss", "bartercast", "sim", "bittorrent"];
+pub const PROTOCOL_CRATES: &[&str] = &[
+    "core",
+    "modcast",
+    "pss",
+    "bartercast",
+    "sim",
+    "bittorrent",
+    "faults",
+];
 
 /// Which part of the workspace a rule applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -390,6 +390,7 @@ const CONFIG_STRUCTS: &[(&str, &str)] = &[
     ("crates/scenario/src/config.rs", "ProtocolConfig"),
     ("crates/bartercast/src/protocol.rs", "BarterCastConfig"),
     ("crates/core/src/protocol.rs", "VoteSamplingConfig"),
+    ("crates/faults/src/config.rs", "FaultConfig"),
 ];
 
 /// Paper parameters: (struct, field, symbol DESIGN.md must use).

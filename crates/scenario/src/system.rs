@@ -7,10 +7,11 @@ use rvs_attacks::FlashCrowd;
 use rvs_bartercast::{AdaptiveThreshold, BarterCast};
 use rvs_bittorrent::BitTorrentNet;
 use rvs_core::{BallotBox, VoteEntry, VoteSampling};
+use rvs_faults::{Backoff, BackoffDecision, FaultPlane, FaultSchedule, SendOutcome};
 use rvs_metrics::{collective_experience_value, correct_ordering_fraction, pollution_fraction};
 use rvs_modcast::{KeyRegistry, LocalVote, ModerationCast};
 use rvs_pss::{NewscastConfig, NewscastPss, OraclePss, PeerSampler};
-use rvs_sim::{DetRng, ModeratorId, NodeId, SimTime};
+use rvs_sim::{DetRng, Engine, ModeratorId, NodeId, SimTime};
 use rvs_telemetry::{EncounterCounters, PhaseTimer, Snapshot};
 use rvs_trace::{Trace, TraceEventKind};
 use std::collections::BTreeSet;
@@ -20,6 +21,39 @@ use std::collections::BTreeSet;
 const AUDIT_CACHE_NODES_PER_ROUND: usize = 2;
 /// Cached `(i, j)` pairs re-derived per sampled evaluator.
 const AUDIT_CACHE_PAIRS_PER_NODE: usize = 2;
+/// Per-node bound on the message-id dedup window. Ids are monotone, so
+/// evicting the smallest keeps the most recent ids — the only ones a
+/// late-arriving duplicate can realistically carry.
+const SEEN_WINDOW: usize = 512;
+/// Bound on each node's remembered VoxPopuli decliners (responder
+/// rotation state).
+const DECLINER_WINDOW: usize = 8;
+
+/// Events routed through the fault-plane delivery engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultEvent {
+    /// A scheduled message delivery: the primary copy or a duplicate
+    /// spawned by the duplication fault (same `id`, `primary = false`).
+    Deliver {
+        id: u64,
+        from: NodeId,
+        to: NodeId,
+        attempt: u32,
+        primary: bool,
+    },
+    /// A backoff wake-up: re-attempt a failed encounter send.
+    Resend {
+        from: NodeId,
+        to: NodeId,
+        attempt: u32,
+    },
+    /// Activate (cut) the partition registered at this index.
+    PartitionStart(usize),
+    /// Deactivate (heal) the partition registered at this index.
+    PartitionHeal(usize),
+    /// Crash-restart a node, wiping its volatile protocol state.
+    Crash(NodeId),
+}
 
 /// Number of vote entries `voter` currently holds in `ballot`.
 fn votes_from(ballot: &BallotBox, voter: NodeId) -> usize {
@@ -95,11 +129,48 @@ pub struct System {
     enc: EncounterCounters,
     timer: PhaseTimer,
     audit: Option<Auditor>,
+
+    // Fault-injection plane. With the default (inert) schedule, every
+    // message takes the synchronous inline path and none of this state
+    // consumes RNG draws or changes behaviour.
+    faults: FaultPlane,
+    fault_events: Engine<FaultEvent>,
+    /// Next message id (monotone; ids order sends for reorder detection).
+    next_msg_id: u64,
+    /// Scheduled primary deliveries not yet resolved — the in-flight term
+    /// of the encounter conservation identity.
+    pending_primary: u64,
+    /// Highest message id whose exchange has been applied.
+    max_fired_msg: u64,
+    /// Per-node windows of applied message ids (duplicate suppression).
+    seen_msgs: Vec<BTreeSet<u64>>,
+    /// Per-node VoxPopuli bootstrap backoff state (only consulted when the
+    /// schedule enables retry).
+    vox_backoff: Vec<Backoff>,
+    /// Per-node responder-rotation memory: peers that recently declined a
+    /// VoxPopuli request and should not be re-asked immediately.
+    vox_decliners: Vec<BTreeSet<NodeId>>,
 }
 
 impl System {
-    /// Assemble a system for `trace` with the given scenario cast.
+    /// Assemble a system for `trace` with the given scenario cast and an
+    /// inert fault plane (no latency, loss, partitions, or crashes beyond
+    /// the legacy `message_loss` knob).
     pub fn new(trace: Trace, cfg: ProtocolConfig, setup: ScenarioSetup, seed: u64) -> System {
+        System::with_faults(trace, cfg, setup, seed, FaultSchedule::default())
+    }
+
+    /// Assemble a system whose deliveries route through the fault plane
+    /// driven by `schedule`. The plane draws from a dedicated RNG fork, so
+    /// two runs differing only in their schedule share every protocol RNG
+    /// stream; an inert schedule reproduces [`System::new`] byte-for-byte.
+    pub fn with_faults(
+        trace: Trace,
+        cfg: ProtocolConfig,
+        setup: ScenarioSetup,
+        seed: u64,
+        schedule: FaultSchedule,
+    ) -> System {
         let n_trace = trace.peer_count();
         let crowd_size = setup.crowd.map(|c| c.size).unwrap_or(0);
         let n_total = n_trace + crowd_size;
@@ -155,6 +226,26 @@ impl System {
         let n_moderators = setup.moderators.len();
         let n_voters = setup.voters.len();
 
+        // The legacy `message_loss` knob routes through the fault plane as
+        // independent loss (unless the schedule configures its own rate),
+        // so every drop reason is attributed to exactly one counter.
+        let mut fault_cfg = schedule.config;
+        if fault_cfg.loss == 0.0 {
+            fault_cfg.loss = cfg.message_loss;
+        }
+        let mut faults = FaultPlane::new(fault_cfg, root.fork(5));
+        let mut fault_events: Engine<FaultEvent> = Engine::new();
+        for p in &schedule.partitions {
+            let idx = faults.add_partition(p.members.iter().copied());
+            fault_events.schedule_at(p.start, FaultEvent::PartitionStart(idx));
+            fault_events.schedule_at(p.heal, FaultEvent::PartitionHeal(idx));
+        }
+        for c in &schedule.crashes {
+            if c.node.index() < n_total {
+                fault_events.schedule_at(c.at, FaultEvent::Crash(c.node));
+            }
+        }
+
         System {
             cfg,
             setup,
@@ -184,6 +275,14 @@ impl System {
             enc: EncounterCounters::default(),
             timer: PhaseTimer::new(),
             audit: None,
+            faults,
+            fault_events,
+            next_msg_id: 1,
+            pending_primary: 0,
+            max_fired_msg: 0,
+            seen_msgs: vec![BTreeSet::new(); n_total],
+            vox_backoff: vec![Backoff::new(); n_total],
+            vox_decliners: vec![BTreeSet::new(); n_total],
         }
     }
 
@@ -219,8 +318,19 @@ impl System {
                 Pss::Newscast(n) => n.counters().clone(),
                 Pss::Oracle(_) => Default::default(),
             },
+            faults: self.faults.counters().clone(),
             phase_nanos: self.timer.phases().clone(),
         }
+    }
+
+    /// The fault-injection plane (partition state and fault counters).
+    pub fn fault_plane(&self) -> &FaultPlane {
+        &self.faults
+    }
+
+    /// Scheduled primary deliveries still in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.pending_primary
     }
 
     /// Current simulation time.
@@ -380,9 +490,17 @@ impl System {
         observer(self, end);
     }
 
-    /// One simulation tick: trace events, BitTorrent transfers, crowd
-    /// churn, and (when due) a protocol gossip round.
+    /// One simulation tick: pending fault-plane events, trace events,
+    /// BitTorrent transfers, crowd churn, and (when due) a protocol gossip
+    /// round.
     pub fn step(&mut self) {
+        // Fault-plane events that came due since the previous tick
+        // (deliveries, resends, partition cuts/heals, crashes). Delivery
+        // times are quantized to the tick boundary: an event scheduled at
+        // `t` fires at the first tick with `now > t`, in (time, seq) order.
+        while let Some((_, ev)) = self.fault_events.next_before(self.now) {
+            self.handle_fault_event(ev);
+        }
         // Trace events at or before the current tick.
         while self.next_event < self.trace.events.len()
             && self.trace.events[self.next_event].time <= self.now
@@ -412,10 +530,19 @@ impl System {
         self.now += self.cfg.net.tick;
     }
 
-    fn any_online_except(&self, except: NodeId) -> Option<NodeId> {
-        (0..self.n_total)
+    /// A deterministically random online node other than `except`, drawn
+    /// from the gossip stream. (Taking the *first* online node here skewed
+    /// every PSS bootstrap introduction toward node 0.)
+    fn any_online_except(&mut self, except: NodeId) -> Option<NodeId> {
+        let candidates: Vec<NodeId> = (0..self.n_total)
             .map(NodeId::from_index)
-            .find(|&n| n != except && self.is_online(n))
+            .filter(|&n| n != except && self.is_online(n))
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(*self.rng_gossip.pick(&candidates))
+        }
     }
 
     /// Crowd activation and duty-cycle churn.
@@ -491,27 +618,36 @@ impl System {
                 self.enc.dropped_offline_target += 1;
                 continue;
             }
-            // Failure injection: the whole encounter may be lost.
-            if self.cfg.message_loss > 0.0 && self.rng_gossip.chance(self.cfg.message_loss) {
-                self.enc.dropped_message_loss += 1;
-                continue;
-            }
-            self.encounter(i, j);
-            self.enc.delivered += 1;
+            // Every send routes through the fault plane, which decides
+            // loss/latency/duplication; attempt 1 is the initial send.
+            self.dispatch(i, j, 1);
         }
         if self.adaptive.is_some() {
             self.observe_dispersion();
         }
         if let Some(aud) = &mut self.audit {
             let e = &self.enc;
+            let f = self.faults.counters();
             let now = self.now;
+            let in_flight = self.pending_primary;
+            // Fault-aware conservation: every attempt is delivered, dropped
+            // for an attributed reason, or still in flight. Duplicate
+            // copies are outside the identity by construction — they never
+            // touch `attempted` or `delivered`.
             let accounted = e.delivered
                 + e.dropped_no_sample
                 + e.dropped_offline_target
                 + e.dropped_self_target
-                + e.dropped_message_loss;
+                + e.dropped_message_loss
+                + f.dropped_burst
+                + f.partitioned
+                + f.dropped_expired
+                + in_flight;
             aud.check(e.attempted == accounted, || {
-                format!("encounter conservation broken at {now}: {e:?}")
+                format!(
+                    "encounter conservation broken at {now}: {e:?} faults {f:?} \
+                     in-flight {in_flight}"
+                )
             });
             // Sampled cache coherence: pick a few evaluators, re-derive a
             // random subset of their cached contributions from scratch, and
@@ -528,6 +664,211 @@ impl System {
                 });
             }
         }
+    }
+
+    /// Route one send from `i` to `j` through the fault plane. The caller
+    /// has already counted `attempted` and verified both endpoints online.
+    fn dispatch(&mut self, i: NodeId, j: NodeId, attempt: u32) {
+        match self.faults.decide(i, j) {
+            SendOutcome::DropIndependent => {
+                // Independent loss keeps its historical home in the
+                // encounter block (`message_loss` attribution).
+                self.enc.dropped_message_loss += 1;
+                self.maybe_retry(i, j, attempt);
+            }
+            SendOutcome::DropBurst | SendOutcome::DropPartitioned => {
+                // Attributed inside the plane (dropped_burst/partitioned).
+                self.maybe_retry(i, j, attempt);
+            }
+            SendOutcome::Deliver {
+                delay,
+                duplicate_delay,
+            } => {
+                let id = self.next_msg_id;
+                self.next_msg_id += 1;
+                if let Some(extra) = duplicate_delay {
+                    self.fault_events.schedule_at(
+                        self.now.saturating_add(extra),
+                        FaultEvent::Deliver {
+                            id,
+                            from: i,
+                            to: j,
+                            attempt,
+                            primary: false,
+                        },
+                    );
+                }
+                if delay.is_zero() {
+                    // Zero-latency fast path: the legacy synchronous
+                    // exchange, applied inside the sending gossip round.
+                    self.apply_message(id, i, j);
+                    self.enc.delivered += 1;
+                } else {
+                    self.pending_primary += 1;
+                    self.fault_events.schedule_at(
+                        self.now.saturating_add(delay),
+                        FaultEvent::Deliver {
+                            id,
+                            from: i,
+                            to: j,
+                            attempt,
+                            primary: true,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_fault_event(&mut self, ev: FaultEvent) {
+        match ev {
+            FaultEvent::Deliver {
+                id,
+                from,
+                to,
+                attempt,
+                primary,
+            } => self.handle_delivery(id, from, to, attempt, primary),
+            FaultEvent::Resend { from, to, attempt } => self.handle_resend(from, to, attempt),
+            FaultEvent::PartitionStart(idx) => self.faults.set_partition_active(idx, true),
+            FaultEvent::PartitionHeal(idx) => self.faults.set_partition_active(idx, false),
+            FaultEvent::Crash(node) => self.crash_restart(node),
+        }
+    }
+
+    /// A scheduled copy (primary or duplicate) of message `id` arrives.
+    fn handle_delivery(&mut self, id: u64, from: NodeId, to: NodeId, attempt: u32, primary: bool) {
+        if primary {
+            self.pending_primary -= 1;
+        }
+        // Receiver-side dedup: if any copy of this id already applied, the
+        // exchange must not run twice. A suppressed *primary* still counts
+        // as delivered — its duplicate carried the logical message through.
+        if self.has_seen(from, id) || self.has_seen(to, id) {
+            self.faults.counters_mut().dedup_suppressed += 1;
+            if primary {
+                self.enc.delivered += 1;
+            }
+            return;
+        }
+        // A partition may have been cut while the message was in flight.
+        if self.faults.partitioned(from, to) {
+            if primary {
+                self.faults.counters_mut().partitioned += 1;
+                self.maybe_retry(from, to, attempt);
+            }
+            return;
+        }
+        // An endpoint may have churned offline while the message was in
+        // flight; the encounter needs both sides up.
+        if !self.is_online(from) || !self.is_online(to) {
+            if primary {
+                self.faults.counters_mut().dropped_expired += 1;
+                self.maybe_retry(from, to, attempt);
+            }
+            return;
+        }
+        if self.audit.is_some() {
+            let double_apply = self.has_seen(from, id) || self.has_seen(to, id);
+            let crosses_cut = self.faults.partitioned(from, to);
+            let now = self.now;
+            if let Some(aud) = self.audit.as_mut() {
+                aud.check(!double_apply, || {
+                    format!("message {id} ({from}->{to}) would apply twice at {now}")
+                });
+                aud.check(!crosses_cut, || {
+                    format!("delivery {id} ({from}->{to}) crosses an active partition at {now}")
+                });
+            }
+        }
+        self.apply_message(id, from, to);
+        if primary {
+            self.enc.delivered += 1;
+        }
+    }
+
+    /// Apply message `id`'s exchange: record it in both dedup windows,
+    /// track send-order inversions, and run the protocol encounter.
+    fn apply_message(&mut self, id: u64, from: NodeId, to: NodeId) {
+        if id < self.max_fired_msg {
+            self.faults.counters_mut().reordered += 1;
+        } else {
+            self.max_fired_msg = id;
+        }
+        self.mark_seen(from, id);
+        self.mark_seen(to, id);
+        self.encounter(from, to);
+    }
+
+    fn has_seen(&self, node: NodeId, id: u64) -> bool {
+        self.seen_msgs[node.index()].contains(&id)
+    }
+
+    fn mark_seen(&mut self, node: NodeId, id: u64) {
+        let window = &mut self.seen_msgs[node.index()];
+        window.insert(id);
+        while window.len() > SEEN_WINDOW {
+            window.pop_first();
+        }
+    }
+
+    /// After a failed attempt, schedule a backoff resend when the schedule
+    /// enables retry; otherwise the loss stands, exactly as before.
+    fn maybe_retry(&mut self, from: NodeId, to: NodeId, failed_attempt: u32) {
+        let Some(rc) = self.faults.config().retry else {
+            return;
+        };
+        if failed_attempt >= rc.max_attempts {
+            self.faults.counters_mut().backoff_gaveups += 1;
+            return;
+        }
+        self.faults.counters_mut().retries += 1;
+        let delay = rc.backoff_delay(failed_attempt + 1);
+        self.fault_events.schedule_at(
+            self.now.saturating_add(delay),
+            FaultEvent::Resend {
+                from,
+                to,
+                attempt: failed_attempt + 1,
+            },
+        );
+    }
+
+    /// A backoff timer fired: re-attempt the encounter, rotating to a
+    /// fresh responder when the sampler offers one (the failed target may
+    /// be dead or unreachable behind a partition).
+    fn handle_resend(&mut self, from: NodeId, to: NodeId, attempt: u32) {
+        if !self.is_online(from) {
+            // The sender churned away; the retry dissolves without an
+            // attempt (nothing was sent, so conservation is untouched).
+            return;
+        }
+        self.enc.attempted += 1;
+        let target = match self.pss.sample(from, &mut self.rng_pss) {
+            Some(t) if t != from && t != to => t,
+            _ => to,
+        };
+        if !self.is_online(target) {
+            self.enc.dropped_offline_target += 1;
+            self.maybe_retry(from, target, attempt);
+            return;
+        }
+        self.dispatch(from, target, attempt);
+    }
+
+    /// Crash-restart `node`: volatile protocol state (ballot box,
+    /// VoxPopuli cache, dedup window, backoff state) is wiped; persistent
+    /// state (BarterCast graph, signed moderations in the local database,
+    /// PSS view) survives, as Tribler persists those across sessions.
+    fn crash_restart(&mut self, node: NodeId) {
+        if node.index() >= self.n_total {
+            return;
+        }
+        self.vs.crash_reset(node);
+        self.seen_msgs[node.index()].clear();
+        self.vox_backoff[node.index()] = Backoff::new();
+        self.vox_decliners[node.index()].clear();
+        self.faults.counters_mut().crash_restarts += 1;
     }
 
     fn publish_due_moderations(&mut self) {
@@ -596,7 +937,39 @@ impl System {
                 let crowd = self.crowd.as_ref().expect("crowd member implies crowd");
                 let list = crowd.topk_response(&[], self.cfg.votes.k);
                 self.vs.deliver_external_topk(i, list);
+            } else if let Some(rc) = self.faults.config().retry {
+                // Graceful degradation under faults: requests are gated by
+                // capped exponential backoff, and recent decliners are
+                // skipped (responder rotation) so a bootstrapping node does
+                // not hammer the same unhelpful peer.
+                let idx = i.index();
+                if self.vox_backoff[idx].ready(self.now) && !self.vox_decliners[idx].contains(&j) {
+                    let j_bootstrapping = self.vs.needs_bootstrap(j);
+                    self.vox_backoff[idx].on_attempt(self.now, &rc);
+                    let answered = self.vs.vox_request(i, j);
+                    vox_breach = answered && j_bootstrapping;
+                    if answered {
+                        self.vox_backoff[idx].on_success();
+                        self.vox_decliners[idx].clear();
+                    } else {
+                        let decliners = &mut self.vox_decliners[idx];
+                        decliners.insert(j);
+                        while decliners.len() > DECLINER_WINDOW {
+                            decliners.pop_first();
+                        }
+                        match self.vox_backoff[idx].on_failure(self.now, &rc) {
+                            BackoffDecision::Retry => self.faults.counters_mut().retries += 1,
+                            BackoffDecision::GaveUp => {
+                                // The round is abandoned; after a cooldown a
+                                // fresh round may query anyone again.
+                                self.faults.counters_mut().backoff_gaveups += 1;
+                                self.vox_decliners[idx].clear();
+                            }
+                        }
+                    }
+                }
             } else {
+                // Retry-free legacy path: ask whoever the encounter offers.
                 let j_bootstrapping = self.vs.needs_bootstrap(j);
                 let answered = self.vs.vox_request(i, j);
                 vox_breach = answered && j_bootstrapping;

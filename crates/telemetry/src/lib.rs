@@ -157,6 +157,34 @@ counter_block! {
     }
 }
 
+counter_block! {
+    /// Fault-injection plane activity, owned by `faults::FaultPlane` (and,
+    /// for the retry/crash counters, incremented by `scenario::System`).
+    pub struct FaultCounters {
+        /// Deliveries scheduled with a non-zero latency.
+        pub delayed,
+        /// Deliveries that fired after a later-sent message (id inversion).
+        pub reordered,
+        /// Duplicate copies spawned by the duplication fault.
+        pub duplicated,
+        /// Deliveries suppressed by receiver-side message-id dedup.
+        pub dedup_suppressed,
+        /// Sends lost while the Gilbert–Elliott channel was in (or just
+        /// entered) the bad state.
+        pub dropped_burst,
+        /// Sends or in-flight deliveries cut by an active partition.
+        pub partitioned,
+        /// In-flight deliveries abandoned because an endpoint went offline.
+        pub dropped_expired,
+        /// Retry attempts issued (encounter resends + VoxPopuli bootstrap).
+        pub retries,
+        /// Retry rounds abandoned after exhausting the attempt budget.
+        pub backoff_gaveups,
+        /// Crash-restart faults applied (volatile protocol state wiped).
+        pub crash_restarts,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Shared atomic counter for `&self` hot paths
 // ---------------------------------------------------------------------------
@@ -216,6 +244,8 @@ pub struct Snapshot {
     pub barter: BarterCounters,
     /// Peer-sampling-service counters.
     pub pss: PssCounters,
+    /// Fault-injection-plane counters.
+    pub faults: FaultCounters,
     /// Wall-clock time per named phase, in nanoseconds.
     pub phase_nanos: BTreeMap<String, u64>,
 }
@@ -229,6 +259,7 @@ impl Snapshot {
         self.voxpopuli.merge_from(&other.voxpopuli);
         self.barter.merge_from(&other.barter);
         self.pss.merge_from(&other.pss);
+        self.faults.merge_from(&other.faults);
         for (phase, nanos) in &other.phase_nanos {
             let slot = self.phase_nanos.entry(phase.clone()).or_insert(0);
             *slot = slot.saturating_add(*nanos);

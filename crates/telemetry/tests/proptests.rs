@@ -9,10 +9,11 @@ use proptest::prelude::*;
 use rvs_telemetry::Snapshot;
 use std::collections::BTreeMap;
 
-/// Deserialize a snapshot from 22 raw counter values (6 encounter + 5
-/// moderation + 4 vote + 3 voxpopuli + 2 barter + 2 pss) plus a phase map.
+/// Deserialize a snapshot from 32 raw counter values (6 encounter + 5
+/// moderation + 4 vote + 3 voxpopuli + 2 barter + 2 pss + 10 fault) plus a
+/// phase map.
 fn snapshot_from(vals: &[u64], phases: BTreeMap<u8, u64>) -> Snapshot {
-    assert_eq!(vals.len(), 22);
+    assert_eq!(vals.len(), 32);
     let mut s = Snapshot::default();
     let e = &mut s.encounters;
     [
@@ -60,6 +61,22 @@ fn snapshot_from(vals: &[u64], phases: BTreeMap<u8, u64>) -> Snapshot {
     s.barter.maxflow_evaluations = vals[19];
     s.pss.exchanges = vals[20];
     s.pss.failed_contacts = vals[21];
+    let f = &mut s.faults;
+    [
+        &mut f.delayed,
+        &mut f.reordered,
+        &mut f.duplicated,
+        &mut f.dedup_suppressed,
+        &mut f.dropped_burst,
+        &mut f.partitioned,
+        &mut f.dropped_expired,
+        &mut f.retries,
+        &mut f.backoff_gaveups,
+        &mut f.crash_restarts,
+    ]
+    .into_iter()
+    .zip(&vals[22..32])
+    .for_each(|(slot, &v)| *slot = v);
     for (k, nanos) in phases {
         s.phase_nanos.insert(format!("phase{k}"), nanos);
     }
@@ -68,7 +85,7 @@ fn snapshot_from(vals: &[u64], phases: BTreeMap<u8, u64>) -> Snapshot {
 
 fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
     (
-        prop::collection::vec(any::<u64>(), 22..23),
+        prop::collection::vec(any::<u64>(), 32..33),
         prop::collection::btree_map(0u8..5, any::<u64>(), 0..4),
     )
         .prop_map(|(vals, phases)| snapshot_from(&vals, phases))
@@ -111,5 +128,6 @@ proptest! {
         prop_assert_eq!(c.voxpopuli, a.voxpopuli);
         prop_assert_eq!(c.barter, a.barter);
         prop_assert_eq!(c.pss, a.pss);
+        prop_assert_eq!(c.faults, a.faults);
     }
 }

@@ -12,6 +12,7 @@
 //! binaries in `rvs-bench` regenerate the paper's figures.
 
 use robust_vote_sampling::core::ModeratorBoard;
+use robust_vote_sampling::faults::FaultSchedule;
 use robust_vote_sampling::metrics::TimeSeries;
 use robust_vote_sampling::scenario::experiments::experience::dataset_statistics;
 use robust_vote_sampling::scenario::experiments::spam::fig8_setup;
@@ -56,9 +57,12 @@ USAGE:
     rvs stats  [--seed N] [--traces N]
         dataset statistics over N traces (the paper's §VI summary)
     rvs run    [--seed N] [--peers N] [--hours N] [--t-mib X] [--loss X]
-               [--telemetry FILE|-]
+               [--faults FILE] [--telemetry FILE|-]
         full-stack Figure 6 scenario; prints the accuracy curve and the
-        best-informed node's moderator board
+        best-informed node's moderator board. --faults loads a JSON
+        FaultSchedule (latency/jitter, loss, burst loss, duplication,
+        partitions, crash-restarts, retry/backoff; see DESIGN.md §10)
+        and routes every delivery through the fault-injection plane
     rvs attack [--seed N] [--peers N] [--core N] [--crowd N] [--hours N]
                [--telemetry FILE|-]
         Figure 8 flash-crowd scenario; prints the pollution curve
@@ -163,7 +167,26 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
     if flags.contains_key("telemetry") {
         telemetry::set_enabled(true);
     }
-    let mut system = System::new(trace, protocol, setup, seed);
+    let schedule = match flags.get("faults") {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("failed to read fault schedule {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match FaultSchedule::from_json(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("invalid fault schedule {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => FaultSchedule::default(),
+    };
+    let mut system = System::with_faults(trace, protocol, setup, seed, schedule);
     let mut series = TimeSeries::new("accuracy");
     system.run_until(
         SimTime::from_hours(hours),

@@ -41,6 +41,7 @@ pub use rvs_attacks as attacks;
 pub use rvs_bartercast as bartercast;
 pub use rvs_bittorrent as bittorrent;
 pub use rvs_core as core;
+pub use rvs_faults as faults;
 pub use rvs_metrics as metrics;
 pub use rvs_modcast as modcast;
 pub use rvs_pss as pss;

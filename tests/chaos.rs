@@ -1,0 +1,210 @@
+//! Chaos suite: the full stack under the fault-injection plane.
+//!
+//! The acceptance scenario combines 30% burst loss, 2× mean-latency
+//! jitter, 5% duplication, one 4-hour partition, and 3 crash-restarts.
+//! Every run must finish with a clean audit (no double-applied votes, no
+//! delivery across an active partition, exact conservation) and still
+//! converge; the same seed must replay to byte-identical telemetry.
+
+use proptest::prelude::*;
+use robust_vote_sampling::faults::{
+    BurstLoss, CrashSpec, FaultConfig, FaultSchedule, PartitionSpec, RetryConfig,
+};
+use robust_vote_sampling::scenario::experiments::vote_sampling::fig6_setup;
+use robust_vote_sampling::scenario::{ProtocolConfig, System};
+use rvs_sim::{NodeId, SimDuration, SimTime};
+use rvs_trace::TraceGenConfig;
+
+/// Fixed seeds the CI chaos job sweeps.
+const SEEDS: [u64; 3] = [101, 202, 303];
+
+/// Assert the run's invariant auditor saw checks and no violations.
+fn assert_clean_audit(system: &System) {
+    let auditor = system.auditor().expect("audit enabled");
+    assert!(auditor.checks() > 0, "auditor performed no checks");
+    assert_eq!(
+        system.audit_violations(),
+        &[] as &[String],
+        "invariant violations detected"
+    );
+}
+
+/// The acceptance-criteria schedule: 30% burst loss (mean burst 8
+/// messages), latency jittering up to 2× the 5 s mean, 5% duplication,
+/// one 4-hour partition over a third of the population, 3 crash-restarts,
+/// and retry/backoff enabled so degradation is graceful.
+fn chaos_schedule() -> FaultSchedule {
+    FaultSchedule {
+        config: FaultConfig {
+            base_latency_ms: 5_000,
+            jitter_spread: 1.0,
+            loss: 0.0,
+            duplicate: 0.05,
+            burst: Some(BurstLoss::with_overall_loss(0.3, 8.0)),
+            retry: Some(RetryConfig::default()),
+        },
+        partitions: vec![PartitionSpec {
+            name: "split".into(),
+            members: (0..8).map(NodeId::from_index).collect(),
+            start: SimTime::from_hours(6),
+            heal: SimTime::from_hours(10),
+        }],
+        crashes: vec![
+            CrashSpec {
+                node: NodeId::from_index(3),
+                at: SimTime::from_hours(8),
+            },
+            CrashSpec {
+                node: NodeId::from_index(11),
+                at: SimTime::from_hours(15),
+            },
+            CrashSpec {
+                node: NodeId::from_index(17),
+                at: SimTime::from_hours(22),
+            },
+        ],
+    }
+}
+
+/// Run the fig6 scenario under `schedule` for `hours`, fully audited.
+fn chaos_run(seed: u64, hours: u64, schedule: FaultSchedule) -> (System, f64) {
+    let trace = TraceGenConfig::quick(24, SimDuration::from_hours(hours)).generate(seed);
+    let (setup, m) = fig6_setup(&trace, 0.25, 0.25, seed);
+    let protocol = ProtocolConfig {
+        experience_t_mib: 1.0,
+        ..ProtocolConfig::default()
+    };
+    let mut system = System::with_faults(trace, protocol, setup, seed, schedule);
+    system.enable_audit();
+    system.run_until(
+        SimTime::from_hours(hours),
+        SimDuration::from_hours(hours),
+        |_, _| {},
+    );
+    let acc = system.ordering_accuracy(&m);
+    (system, acc)
+}
+
+#[test]
+fn acceptance_schedule_survives_all_seeds() {
+    for seed in SEEDS {
+        let (system, acc) = chaos_run(seed, 36, chaos_schedule());
+        assert_clean_audit(&system);
+        assert!(
+            acc > 0.5,
+            "seed {seed}: ordering accuracy {acc} <= 0.5 under chaos"
+        );
+
+        let snap = system.telemetry_snapshot();
+        let f = &snap.faults;
+        assert_eq!(f.crash_restarts, 3, "seed {seed}: all crashes must fire");
+        assert!(f.delayed > 0, "seed {seed}: latency fault never engaged");
+        assert!(f.dropped_burst > 0, "seed {seed}: burst loss never engaged");
+        assert!(f.duplicated > 0, "seed {seed}: duplication never engaged");
+        assert!(
+            f.dedup_suppressed > 0,
+            "seed {seed}: no duplicate was ever suppressed — dedup untested"
+        );
+        assert!(
+            f.partitioned > 0,
+            "seed {seed}: partition never cut traffic"
+        );
+        assert!(f.retries > 0, "seed {seed}: retry path never engaged");
+        assert!(f.reordered > 0, "seed {seed}: jitter never reordered sends");
+
+        // Fault-aware conservation, re-checked from the outside: every
+        // attempt delivered, dropped for an attributed reason, or still
+        // in flight at the end of the run.
+        let e = &snap.encounters;
+        assert_eq!(
+            e.attempted,
+            e.delivered
+                + snap.total_dropped()
+                + f.dropped_burst
+                + f.partitioned
+                + f.dropped_expired
+                + system.in_flight(),
+            "seed {seed}: conservation identity broken: {e:?} / {f:?}"
+        );
+    }
+}
+
+#[test]
+fn chaos_replays_byte_identical() {
+    for seed in SEEDS {
+        let (a, acc_a) = chaos_run(seed, 36, chaos_schedule());
+        let (b, acc_b) = chaos_run(seed, 36, chaos_schedule());
+        assert_eq!(acc_a, acc_b, "seed {seed}: accuracy diverged on replay");
+        assert_eq!(
+            a.telemetry_snapshot().counters_only().to_json_compact(),
+            b.telemetry_snapshot().counters_only().to_json_compact(),
+            "seed {seed}: telemetry diverged on replay"
+        );
+    }
+}
+
+#[test]
+fn fault_free_schedule_matches_plain_system_byte_for_byte() {
+    // The fault plane must be invisible when inert: same seed, with and
+    // without the (empty) schedule, produces identical telemetry.
+    let seed = 17;
+    let trace = TraceGenConfig::quick(16, SimDuration::from_hours(12)).generate(seed);
+    let (setup, _) = fig6_setup(&trace, 0.25, 0.25, seed);
+    let protocol = ProtocolConfig {
+        experience_t_mib: 1.0,
+        ..ProtocolConfig::default()
+    };
+    let mut plain = System::new(trace.clone(), protocol, setup.clone(), seed);
+    let mut inert = System::with_faults(trace, protocol, setup, seed, FaultSchedule::inert());
+    for system in [&mut plain, &mut inert] {
+        system.enable_audit();
+        system.run_until(
+            SimTime::from_hours(12),
+            SimDuration::from_hours(12),
+            |_, _| {},
+        );
+        assert_clean_audit(system);
+    }
+    assert_eq!(
+        plain.telemetry_snapshot().counters_only().to_json_compact(),
+        inert.telemetry_snapshot().counters_only().to_json_compact(),
+        "an inert fault plane must not change behaviour"
+    );
+    assert_eq!(plain.telemetry_snapshot().faults.total(), 0);
+}
+
+#[test]
+fn schedule_json_drives_the_same_run() {
+    // The CLI path: a schedule serialized to JSON and parsed back drives
+    // an identical run (what `rvs run --faults FILE` relies on).
+    let parsed = FaultSchedule::from_json(&chaos_schedule().to_json()).expect("roundtrip");
+    assert_eq!(parsed, chaos_schedule());
+    let (a, acc_a) = chaos_run(7, 12, chaos_schedule());
+    let (b, acc_b) = chaos_run(7, 12, parsed);
+    assert_eq!(acc_a, acc_b);
+    assert_eq!(
+        a.telemetry_snapshot().counters_only().to_json_compact(),
+        b.telemetry_snapshot().counters_only().to_json_compact()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For any seeded schedule: the run completes without panicking, the
+    /// auditor stays clean, and a replay is byte-identical.
+    #[test]
+    fn any_seeded_schedule_is_safe_and_replayable(seed in any::<u64>()) {
+        let schedule = FaultSchedule::random(seed, 12, SimDuration::from_hours(6));
+        schedule.validate().expect("random schedules validate");
+        let (a, acc_a) = chaos_run(seed, 6, schedule.clone());
+        assert_clean_audit(&a);
+        prop_assert!((0.0..=1.0).contains(&acc_a));
+        let (b, acc_b) = chaos_run(seed, 6, schedule);
+        prop_assert_eq!(acc_a, acc_b);
+        prop_assert_eq!(
+            a.telemetry_snapshot().counters_only().to_json_compact(),
+            b.telemetry_snapshot().counters_only().to_json_compact()
+        );
+    }
+}
