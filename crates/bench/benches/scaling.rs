@@ -1,0 +1,68 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented public items
+
+//! Thread-scaling of the sharded round engine on the quick fig6 scenario.
+//!
+//! Before timing anything, the harness asserts the property that makes
+//! the timings comparable at all: every thread count produces the same
+//! telemetry bytes and the same bit-level accuracy as the 1-thread
+//! baseline, so the sweep measures *only* wall-clock. Numbers are
+//! recorded in EXPERIMENTS.md; note that scaling is bounded by the
+//! serial apply/merge phase (Amdahl) and by the host's physical cores —
+//! on a single-core host the >1-thread legs measure pure overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rvs_scenario::experiments::vote_sampling::fig6_setup;
+use rvs_scenario::{ProtocolConfig, System};
+use rvs_sim::{SimDuration, SimTime};
+use rvs_trace::TraceGenConfig;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn run(
+    trace: &rvs_trace::Trace,
+    setup: &rvs_scenario::ScenarioSetup,
+    threads: usize,
+) -> (String, u64) {
+    let mut system = System::new(trace.clone(), ProtocolConfig::default(), setup.clone(), 5);
+    system.set_threads(threads);
+    system.run_until(
+        SimTime::from_hours(6),
+        SimDuration::from_hours(6),
+        |_, _| {},
+    );
+    (
+        system
+            .telemetry_snapshot()
+            .counters_only()
+            .to_json_compact(),
+        system.net().ledger().total_kib(),
+    )
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let trace = TraceGenConfig::quick(16, SimDuration::from_hours(6)).generate(5);
+    let (setup, _) = fig6_setup(&trace, 0.25, 0.25, 5);
+
+    // Determinism gate: the sweep is meaningless (and unsafe to publish)
+    // if thread count changed results, so fail loudly before timing.
+    let baseline = run(&trace, &setup, 1);
+    for t in THREADS {
+        assert_eq!(
+            run(&trace, &setup, t),
+            baseline,
+            "{t}-thread run diverged from the serial baseline"
+        );
+    }
+
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for t in THREADS {
+        group.bench_function(format!("fig6_16peers_6h_threads{t}"), |b| {
+            b.iter(|| black_box(run(&trace, &setup, t).1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -37,6 +37,20 @@ impl TransferLedger {
         self.total_kib += kib;
     }
 
+    /// Fold another ledger's credits into this one. Credits are plain
+    /// integer sums, so the merge is associative and commutative — the
+    /// parallel window driver relies on this to combine per-swarm delta
+    /// ledgers into the global ledger in canonical swarm order.
+    pub fn merge_from(&mut self, other: &TransferLedger) {
+        for (&(from, to), &kib) in &other.kib {
+            *self.kib.entry((from, to)).or_insert(0) += kib;
+        }
+        for (&(to, from), &kib) in &other.incoming {
+            *self.incoming.entry((to, from)).or_insert(0) += kib;
+        }
+        self.total_kib += other.total_kib;
+    }
+
     /// KiB uploaded from `from` to `to`.
     pub fn uploaded_kib(&self, from: NodeId, to: NodeId) -> u64 {
         self.kib.get(&(from, to)).copied().unwrap_or(0)
@@ -193,5 +207,35 @@ mod tests {
         let mut sorted = pairs.clone();
         sorted.sort();
         assert_eq!(pairs, sorted);
+    }
+
+    #[test]
+    fn merge_from_equals_interleaved_credits() {
+        // Credits split across delta ledgers and merged must equal the
+        // same credits applied directly, in any order.
+        let credits = [
+            (NodeId(0), NodeId(1), 10u64),
+            (NodeId(1), NodeId(0), 20),
+            (NodeId(2), NodeId(1), 5),
+            (NodeId(0), NodeId(1), 7),
+        ];
+        let mut direct = TransferLedger::new();
+        for &(f, t, k) in &credits {
+            direct.credit(f, t, k);
+        }
+        let mut a = TransferLedger::new();
+        let mut b = TransferLedger::new();
+        for (i, &(f, t, k)) in credits.iter().enumerate() {
+            if i % 2 == 0 {
+                a.credit(f, t, k);
+            } else {
+                b.credit(f, t, k);
+            }
+        }
+        let mut merged = TransferLedger::new();
+        merged.merge_from(&b);
+        merged.merge_from(&a);
+        assert_eq!(merged, direct);
+        assert_eq!(merged.total_kib(), direct.total_kib());
     }
 }

@@ -12,12 +12,33 @@
 //!   budget of online seeding time is spent;
 //! * **free-riders** "leave swarms as soon as they have downloaded their
 //!   file" (§VI) and never seed.
+//!
+//! # Parallel execution
+//!
+//! Swarms are mutually independent within a tick: each owns its RNG stream
+//! (forked from the net's base **keyed by swarm id**), its members, and its
+//! seed budgets. The only cross-swarm state is the global ledger — a
+//! commutative sum of per-swarm credits — and the time-ordered completion
+//! log. Two drivers exploit this:
+//!
+//! * [`BitTorrentNet::tick`] advances every swarm serially, in ascending
+//!   swarm order (the legacy immediate mode used by [`run_trace`]).
+//! * [`BitTorrentNet::advance_window`] replays a whole span of ticks per
+//!   swarm as an isolated job on a [`Pool`], then merges per-swarm ledger
+//!   deltas in ascending swarm order and completions in canonical
+//!   `(time, swarm)` order. Because every tick is a pure function of the
+//!   swarm's own state, the result is byte-identical to the serial driver
+//!   for any window partition and any thread count.
+//!
+//! [`run_trace`]: BitTorrentNet::run_trace
 
 use crate::ledger::TransferLedger;
 use crate::swarm::{Completion, LinkProfile, MemberRole, SwarmConfig, SwarmSim};
+use rvs_sim::pool::{merge_canonical, Pool};
 use rvs_sim::{DetRng, NodeId, SimDuration, SimTime, SwarmId};
 use rvs_trace::{PeerProfile, Trace, TraceEvent, TraceEventKind};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Configuration for the whole-network simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,49 +59,176 @@ impl Default for NetConfig {
     }
 }
 
+/// One swarm plus everything its ticks touch: its RNG stream (keyed by
+/// swarm id) and the seed budgets of its altruists. Self-contained so a
+/// window of ticks can run as an isolated pool job.
+#[derive(Debug, Clone)]
+struct SwarmRunner {
+    sim: SwarmSim,
+    rng: DetRng,
+    /// Remaining online seeding budget per altruist member of this swarm.
+    seed_budget: BTreeMap<NodeId, SimDuration>,
+}
+
+fn link_of(profiles: &[PeerProfile], peer: NodeId) -> LinkProfile {
+    let p = &profiles[peer.index()];
+    LinkProfile {
+        connectable: p.connectable,
+        uplink_kibps: p.uplink_kibps,
+        downlink_kibps: p.downlink_kibps,
+    }
+}
+
+impl SwarmRunner {
+    /// Apply the swarm-relevant part of one trace event at time `now`.
+    fn apply_event(&mut self, ev: &TraceEvent, now: SimTime, link: LinkProfile, online: bool) {
+        match ev.kind {
+            TraceEventKind::Online => {
+                self.sim.set_online(ev.peer, true);
+                // Initial seeders (re)join once online after swarm creation.
+                if self.sim.spec().initial_seeder == ev.peer
+                    && self.sim.spec().created <= now
+                    && !self.sim.is_member(ev.peer)
+                {
+                    self.sim.join(ev.peer, MemberRole::Seeder, link, true);
+                }
+            }
+            TraceEventKind::Offline => {
+                self.sim.set_online(ev.peer, false);
+            }
+            TraceEventKind::StartDownload { swarm } => {
+                if swarm == self.sim.spec().id {
+                    self.sim.join(ev.peer, MemberRole::Leecher, link, online);
+                }
+            }
+        }
+    }
+
+    /// One transfer tick plus the seeding policies, crediting into
+    /// `ledger` (the global ledger in immediate mode, a per-window delta
+    /// ledger in window mode).
+    fn advance_tick(
+        &mut self,
+        now: SimTime,
+        dt: SimDuration,
+        online: &[bool],
+        profiles: &[PeerProfile],
+        ledger: &mut TransferLedger,
+    ) -> Vec<Completion> {
+        let completions = self.sim.tick(now, dt, ledger, &mut self.rng);
+        for c in &completions {
+            let profile = &profiles[c.peer.index()];
+            if profile.free_rider {
+                // Free-riders quit immediately on completion.
+                self.sim.leave(c.peer);
+            } else {
+                self.seed_budget.insert(c.peer, profile.seed_duration);
+            }
+        }
+        // Spend seed budgets for altruists that are online and still
+        // members; leave when exhausted.
+        let mut expired = Vec::new();
+        for (&peer, remaining) in self.seed_budget.iter_mut() {
+            if !online[peer.index()] {
+                continue;
+            }
+            if !self.sim.is_member(peer) {
+                expired.push(peer);
+                continue;
+            }
+            if remaining.as_millis() <= dt.as_millis() {
+                expired.push(peer);
+            } else {
+                *remaining = *remaining - dt;
+            }
+        }
+        for peer in expired {
+            self.seed_budget.remove(&peer);
+            self.sim.leave(peer);
+        }
+        completions
+    }
+
+    /// Replay every tick in `[start, end_exclusive)` against this swarm:
+    /// events are applied by the same `time <= tick` rule the immediate
+    /// driver uses, transfers are credited into a fresh delta ledger.
+    /// Returns the delta ledger and this swarm's completions (time-ordered).
+    fn advance_window(
+        &mut self,
+        start: SimTime,
+        end_exclusive: SimTime,
+        dt: SimDuration,
+        events: &[TraceEvent],
+        online0: &[bool],
+        profiles: &[PeerProfile],
+    ) -> (TransferLedger, Vec<Completion>) {
+        let mut online = online0.to_vec();
+        let mut cursor = 0usize;
+        let mut ledger = TransferLedger::new();
+        let mut completions = Vec::new();
+        let mut now = start;
+        while now < end_exclusive {
+            while cursor < events.len() && events[cursor].time <= now {
+                let ev = events[cursor];
+                cursor += 1;
+                match ev.kind {
+                    TraceEventKind::Online => online[ev.peer.index()] = true,
+                    TraceEventKind::Offline => online[ev.peer.index()] = false,
+                    TraceEventKind::StartDownload { .. } => {}
+                }
+                let link = link_of(profiles, ev.peer);
+                self.apply_event(&ev, now, link, online[ev.peer.index()]);
+            }
+            completions.extend(self.advance_tick(now, dt, &online, profiles, &mut ledger));
+            now += dt;
+        }
+        (ledger, completions)
+    }
+}
+
 /// The BitTorrent substrate: every swarm of a trace plus churn state.
 #[derive(Debug, Clone)]
 pub struct BitTorrentNet {
     cfg: NetConfig,
-    profiles: Vec<PeerProfile>,
-    swarms: Vec<SwarmSim>,
+    profiles: Arc<Vec<PeerProfile>>,
+    swarms: Vec<SwarmRunner>,
     online: Vec<bool>,
     ledger: TransferLedger,
-    /// Remaining online seeding budget per (peer, swarm) for altruists.
-    seed_budget: BTreeMap<(NodeId, SwarmId), SimDuration>,
     completions: Vec<Completion>,
 }
 
 impl BitTorrentNet {
-    /// Build the substrate for a trace. No events are applied yet.
-    pub fn new(trace: &Trace, cfg: NetConfig) -> Self {
+    /// Build the substrate for a trace. No events are applied yet. Swarm
+    /// `i`'s RNG stream is `rng_base.fork(i)` — keyed by swarm id, so the
+    /// stream a swarm observes never depends on scheduling.
+    pub fn new(trace: &Trace, cfg: NetConfig, rng_base: &DetRng) -> Self {
         BitTorrentNet {
             cfg,
-            profiles: trace.peers.clone(),
+            profiles: Arc::new(trace.peers.clone()),
             swarms: trace
                 .swarms
                 .iter()
-                .map(|s| SwarmSim::new(*s, cfg.swarm))
+                .enumerate()
+                .map(|(i, s)| SwarmRunner {
+                    sim: SwarmSim::new(*s, cfg.swarm),
+                    rng: rng_base.fork(i as u64),
+                    seed_budget: BTreeMap::new(),
+                })
                 .collect(),
             online: vec![false; trace.peers.len()],
             ledger: TransferLedger::new(),
-            seed_budget: BTreeMap::new(),
             completions: Vec::new(),
-        }
-    }
-
-    fn link_of(&self, peer: NodeId) -> LinkProfile {
-        let p = &self.profiles[peer.index()];
-        LinkProfile {
-            connectable: p.connectable,
-            uplink_kibps: p.uplink_kibps,
-            downlink_kibps: p.downlink_kibps,
         }
     }
 
     /// Is `peer` currently online?
     pub fn is_online(&self, peer: NodeId) -> bool {
         self.online[peer.index()]
+    }
+
+    /// Online flags for every trace peer, indexed by id.
+    pub fn online_flags(&self) -> &[bool] {
+        &self.online
     }
 
     /// All currently online peers (ascending id).
@@ -104,7 +252,7 @@ impl BitTorrentNet {
 
     /// Access a swarm's simulation state.
     pub fn swarm(&self, id: SwarmId) -> &SwarmSim {
-        &self.swarms[id.index()]
+        &self.swarms[id.index()].sim
     }
 
     /// Number of swarms in the network.
@@ -112,80 +260,116 @@ impl BitTorrentNet {
         self.swarms.len()
     }
 
-    /// Apply one trace event at time `now`.
-    pub fn apply_event(&mut self, ev: &TraceEvent, now: SimTime) {
+    /// Record only the churn side of a trace event (the online flags).
+    /// Window mode uses this: the swarm-level mutations are replayed
+    /// inside [`BitTorrentNet::advance_window`] jobs by the same rule, so
+    /// they must not also be applied here.
+    pub fn note_event(&mut self, ev: &TraceEvent) {
         match ev.kind {
-            TraceEventKind::Online => {
-                self.online[ev.peer.index()] = true;
-                for sw in &mut self.swarms {
-                    sw.set_online(ev.peer, true);
-                }
-                // Initial seeders (re)join their swarms once online after
-                // swarm creation.
-                let link = self.link_of(ev.peer);
-                for sw in &mut self.swarms {
-                    if sw.spec().initial_seeder == ev.peer
-                        && sw.spec().created <= now
-                        && !sw.is_member(ev.peer)
-                    {
-                        sw.join(ev.peer, MemberRole::Seeder, link, true);
-                    }
-                }
-            }
-            TraceEventKind::Offline => {
-                self.online[ev.peer.index()] = false;
-                for sw in &mut self.swarms {
-                    sw.set_online(ev.peer, false);
-                }
-            }
-            TraceEventKind::StartDownload { swarm } => {
-                let link = self.link_of(ev.peer);
-                let online = self.online[ev.peer.index()];
-                self.swarms[swarm.index()].join(ev.peer, MemberRole::Leecher, link, online);
-            }
+            TraceEventKind::Online => self.online[ev.peer.index()] = true,
+            TraceEventKind::Offline => self.online[ev.peer.index()] = false,
+            TraceEventKind::StartDownload { .. } => {}
         }
     }
 
-    /// Advance all swarms by one tick, applying seeding policies.
-    pub fn tick(&mut self, now: SimTime, rng: &mut DetRng) {
-        let dt = self.cfg.tick;
-        let mut new_completions = Vec::new();
-        for sw in &mut self.swarms {
-            new_completions.extend(sw.tick(now, dt, &mut self.ledger, rng));
+    /// Apply one trace event at time `now`, immediately and in full
+    /// (immediate mode; do not mix with [`BitTorrentNet::advance_window`]).
+    pub fn apply_event(&mut self, ev: &TraceEvent, now: SimTime) {
+        self.note_event(ev);
+        let link = link_of(&self.profiles, ev.peer);
+        let online = self.online[ev.peer.index()];
+        for runner in &mut self.swarms {
+            runner.apply_event(ev, now, link, online);
         }
-        for c in &new_completions {
-            let profile = &self.profiles[c.peer.index()];
-            if profile.free_rider {
-                // Free-riders quit immediately on completion.
-                self.swarms[c.swarm.index()].leave(c.peer);
-            } else {
-                self.seed_budget
-                    .insert((c.peer, c.swarm), profile.seed_duration);
-            }
-        }
-        self.completions.extend(new_completions);
+    }
 
-        // Spend seed budgets for altruists that are online and still
-        // members; leave when exhausted.
-        let mut expired = Vec::new();
-        for (&(peer, swarm), remaining) in self.seed_budget.iter_mut() {
-            if !self.online[peer.index()] {
-                continue;
-            }
-            if !self.swarms[swarm.index()].is_member(peer) {
-                expired.push((peer, swarm));
-                continue;
-            }
-            if remaining.as_millis() <= dt.as_millis() {
-                expired.push((peer, swarm));
-            } else {
-                *remaining = *remaining - dt;
+    /// Advance all swarms by one tick, applying seeding policies
+    /// (immediate mode, ascending swarm order).
+    pub fn tick(&mut self, now: SimTime) {
+        let dt = self.cfg.tick;
+        let BitTorrentNet {
+            swarms,
+            profiles,
+            online,
+            ledger,
+            completions,
+            ..
+        } = self;
+        for runner in swarms.iter_mut() {
+            completions.extend(runner.advance_tick(now, dt, online, profiles, ledger));
+        }
+    }
+
+    /// Replay every tick in `[start, end_exclusive)` for all swarms, one
+    /// pool job per contiguous swarm chunk, and merge the results in
+    /// canonical order: ledger deltas ascending by swarm id, completions
+    /// by `(time, swarm)`. `events` must be exactly the trace events that
+    /// became due in the window (they are replayed per tick with the same
+    /// `time <= tick` rule as immediate mode); `online0` is the online
+    /// snapshot from the end of the previous window. Returns the first
+    /// tick not yet simulated (the next window's `start`).
+    pub fn advance_window(
+        &mut self,
+        start: SimTime,
+        end_exclusive: SimTime,
+        events: &[TraceEvent],
+        online0: &[bool],
+        pool: &Pool,
+    ) -> SimTime {
+        let dt = self.cfg.tick;
+        if start >= end_exclusive {
+            return start;
+        }
+        let n = self.swarms.len();
+        if n == 0 {
+            let ticks = (end_exclusive.as_millis() - start.as_millis()).div_ceil(dt.as_millis());
+            return start + SimDuration::from_millis(ticks * dt.as_millis());
+        }
+        let ctx = Arc::new((
+            events.to_vec(),
+            online0.to_vec(),
+            Arc::clone(&self.profiles),
+        ));
+        let runners = std::mem::take(&mut self.swarms);
+        let chunk_count = pool.threads().min(n);
+        let chunk_size = n.div_ceil(chunk_count);
+        type WindowResult = (Vec<SwarmRunner>, Vec<(TransferLedger, Vec<Completion>)>);
+        let mut jobs: Vec<Box<dyn FnOnce() -> WindowResult + Send + 'static>> = Vec::new();
+        let mut iter = runners.into_iter().peekable();
+        while iter.peek().is_some() {
+            let chunk: Vec<SwarmRunner> = iter.by_ref().take(chunk_size).collect();
+            let ctx = Arc::clone(&ctx);
+            jobs.push(Box::new(move || {
+                let mut chunk = chunk;
+                let (events, online0, profiles) = &*ctx;
+                let deltas: Vec<(TransferLedger, Vec<Completion>)> = chunk
+                    .iter_mut()
+                    .map(|r| r.advance_window(start, end_exclusive, dt, events, online0, profiles))
+                    .collect();
+                (chunk, deltas)
+            }));
+        }
+        // Results come back in job-submission order == ascending swarm id.
+        let mut keyed_completions: Vec<Vec<((SimTime, u32), Completion)>> = Vec::new();
+        for (chunk, deltas) in pool.scatter(jobs) {
+            for (runner, (delta, completions)) in chunk.into_iter().zip(deltas) {
+                self.ledger.merge_from(&delta);
+                keyed_completions.push(
+                    completions
+                        .into_iter()
+                        .map(|c| ((c.time, c.swarm.index() as u32), c))
+                        .collect(),
+                );
+                self.swarms.push(runner);
             }
         }
-        for (peer, swarm) in expired {
-            self.seed_budget.remove(&(peer, swarm));
-            self.swarms[swarm.index()].leave(peer);
-        }
+        self.completions.extend(
+            merge_canonical(keyed_completions)
+                .into_iter()
+                .map(|(_, c)| c),
+        );
+        let ticks = (end_exclusive.as_millis() - start.as_millis()).div_ceil(dt.as_millis());
+        start + SimDuration::from_millis(ticks * dt.as_millis())
     }
 
     /// Convenience driver: replay the whole trace, ticking transfers and
@@ -197,8 +381,8 @@ impl BitTorrentNet {
         sample_every: SimDuration,
         mut observer: impl FnMut(&BitTorrentNet, SimTime),
     ) -> BitTorrentNet {
-        let mut net = BitTorrentNet::new(trace, cfg);
-        let mut rng = DetRng::new(seed).fork(0xB177);
+        let rng_base = DetRng::new(seed).fork(0xB177);
+        let mut net = BitTorrentNet::new(trace, cfg, &rng_base);
         let end = SimTime::ZERO + trace.duration;
         let mut next_event = 0usize;
         let mut next_sample = SimTime::ZERO;
@@ -209,7 +393,7 @@ impl BitTorrentNet {
                 net.apply_event(&ev, now);
                 next_event += 1;
             }
-            net.tick(now, &mut rng);
+            net.tick(now);
             if now >= next_sample {
                 observer(&net, now);
                 next_sample = now + sample_every;
@@ -290,7 +474,7 @@ mod tests {
     #[test]
     fn online_state_follows_trace() {
         let trace = quick_trace(11);
-        let mut net = BitTorrentNet::new(&trace, NetConfig::default());
+        let mut net = BitTorrentNet::new(&trace, NetConfig::default(), &DetRng::new(11));
         let ev = trace
             .events
             .iter()
@@ -362,5 +546,78 @@ mod tests {
             .filter(|s| net.ledger().total_uploaded_kib(s.initial_seeder) > 0)
             .count();
         assert!(uploaded_any >= 1);
+    }
+
+    /// The windowed driver must be byte-identical to the immediate driver:
+    /// same ledger, same completion log, for any window partition and any
+    /// thread count.
+    #[test]
+    fn windowed_replay_matches_immediate_replay() {
+        let trace = quick_trace(19);
+        let immediate = BitTorrentNet::run_trace(
+            &trace,
+            NetConfig::default(),
+            7,
+            SimDuration::from_hours(24),
+            |_, _| {},
+        );
+
+        let windowed = |threads: usize, window: SimDuration| -> BitTorrentNet {
+            let pool = Pool::new(threads);
+            let cfg = NetConfig::default();
+            let rng_base = DetRng::new(7).fork(0xB177);
+            let mut net = BitTorrentNet::new(&trace, cfg, &rng_base);
+            let end = SimTime::ZERO + trace.duration;
+            let mut next_event = 0usize;
+            let mut lo = 0usize;
+            let mut window_start = SimTime::ZERO;
+            let mut online0 = net.online_flags().to_vec();
+            let mut now = SimTime::ZERO;
+            while now < end {
+                while next_event < trace.events.len() && trace.events[next_event].time <= now {
+                    net.note_event(&trace.events[next_event]);
+                    next_event += 1;
+                }
+                if (now - window_start).as_millis() >= window.as_millis() {
+                    window_start = net.advance_window(
+                        window_start,
+                        now + cfg.tick,
+                        &trace.events[lo..next_event],
+                        &online0,
+                        &pool,
+                    );
+                    lo = next_event;
+                    online0 = net.online_flags().to_vec();
+                }
+                now += cfg.tick;
+            }
+            net.advance_window(
+                window_start,
+                end,
+                &trace.events[lo..next_event],
+                &online0,
+                &pool,
+            );
+            net
+        };
+
+        for (threads, window) in [
+            (1, SimDuration::from_mins(10)),
+            (4, SimDuration::from_mins(10)),
+            (4, SimDuration::from_hours(3)),
+            (8, SimDuration::from_secs(10)),
+        ] {
+            let net = windowed(threads, window);
+            assert_eq!(
+                net.ledger(),
+                immediate.ledger(),
+                "ledger diverged at {threads} threads, window {window}"
+            );
+            assert_eq!(
+                net.completions(),
+                immediate.completions(),
+                "completions diverged at {threads} threads, window {window}"
+            );
+        }
     }
 }

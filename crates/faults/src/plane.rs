@@ -34,36 +34,150 @@ struct Partition {
     active: bool,
 }
 
-/// The fault plane: owns the fault RNG stream (a dedicated fork of the run
-/// seed, so enabling faults never perturbs protocol RNG streams), the
-/// Gilbert–Elliott channel state, active partitions, and the
-/// [`FaultCounters`] telemetry block.
+/// An immutable snapshot of the currently *active* partition member sets,
+/// cheap to clone into parallel send jobs. Partition membership only
+/// changes between rounds (at fault-schedule events), so a view captured
+/// at round start is exact for the whole round.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionView {
+    active_sets: Vec<BTreeSet<NodeId>>,
+}
+
+impl PartitionView {
+    /// True when any active partition separates `a` from `b` (exactly one
+    /// of the two is inside the partition's member set).
+    pub fn partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.active_sets
+            .iter()
+            .any(|members| members.contains(&a) != members.contains(&b))
+    }
+}
+
+/// Per-sender fault lane: an independent RNG stream plus Gilbert–Elliott
+/// channel state, forked from the plane's base stream **keyed by sender
+/// id** — never by thread id — so the decide sequence each sender observes
+/// is a pure function of `(seed, sender, send index)` and survives any
+/// resharding across threads.
+#[derive(Debug, Clone)]
+pub struct FaultLane {
+    rng: DetRng,
+    burst_bad: bool,
+}
+
+impl FaultLane {
+    fn new(base: &DetRng, sender: usize) -> FaultLane {
+        FaultLane {
+            rng: base.fork(sender as u64),
+            burst_bad: false,
+        }
+    }
+
+    /// Decide the fate of one send from `a` to `b`, consuming draws from
+    /// this lane in the fixed order documented on [`FaultPlane`]. Drops
+    /// attributed to the plane (`partitioned`, `dropped_burst`) and
+    /// scheduling effects (`delayed`, `duplicated`) are counted into
+    /// `counters`; independent-loss drops are counted by the caller in the
+    /// encounter block, where the legacy `message_loss` knob has always
+    /// lived.
+    pub fn decide(
+        &mut self,
+        cfg: &FaultConfig,
+        view: &PartitionView,
+        counters: &mut FaultCounters,
+        a: NodeId,
+        b: NodeId,
+    ) -> SendOutcome {
+        if view.partitioned(a, b) {
+            counters.partitioned += 1;
+            return SendOutcome::DropPartitioned;
+        }
+        if cfg.loss > 0.0 && self.rng.chance(cfg.loss) {
+            return SendOutcome::DropIndependent;
+        }
+        if let Some(burst) = cfg.burst {
+            if self.burst_bad {
+                if self.rng.chance(burst.p_exit_bad) {
+                    self.burst_bad = false;
+                }
+            } else if self.rng.chance(burst.p_enter_bad) {
+                self.burst_bad = true;
+            }
+            let p_loss = if self.burst_bad {
+                burst.loss_bad
+            } else {
+                burst.loss_good
+            };
+            if p_loss > 0.0 && self.rng.chance(p_loss) {
+                counters.dropped_burst += 1;
+                return SendOutcome::DropBurst;
+            }
+        }
+        let delay = self.draw_latency(cfg);
+        if !delay.is_zero() {
+            counters.delayed += 1;
+        }
+        let duplicate_delay = if cfg.duplicate > 0.0 && self.rng.chance(cfg.duplicate) {
+            counters.duplicated += 1;
+            Some(self.draw_latency(cfg))
+        } else {
+            None
+        };
+        SendOutcome::Deliver {
+            delay,
+            duplicate_delay,
+        }
+    }
+
+    /// One latency draw: `base · uniform[1 − spread, 1 + spread]` ms,
+    /// consuming a draw only when both base and spread are non-zero.
+    fn draw_latency(&mut self, cfg: &FaultConfig) -> SimDuration {
+        let base = cfg.base_latency_ms;
+        if base == 0 {
+            return SimDuration::from_millis(0);
+        }
+        if cfg.jitter_spread <= 0.0 {
+            return SimDuration::from_millis(base);
+        }
+        let ms = self.rng.jitter(base as f64, cfg.jitter_spread);
+        SimDuration::from_millis(ms.max(0.0).round() as u64)
+    }
+}
+
+/// The fault plane: owns per-sender fault lanes (each a dedicated fork of
+/// the run seed, so enabling faults never perturbs protocol RNG streams),
+/// active partitions, and the [`FaultCounters`] telemetry block.
 ///
-/// Determinism contract: [`FaultPlane::decide`] consumes RNG draws in a
-/// fixed, documented order — partition check (no draw), independent loss
-/// (one draw iff `0 < loss < 1`), burst-channel transition + loss draws
-/// (only when burst is configured), latency draw (iff `base_latency_ms > 0`
-/// and `jitter_spread > 0`), duplication draw (iff `0 < duplicate < 1`,
-/// plus a latency draw for the copy). With an inert config it consumes
-/// **zero** draws, which is what keeps zero-fault runs byte-identical to
-/// runs without the plane.
+/// Determinism contract: [`FaultPlane::decide`] consumes RNG draws from the
+/// *sender's* lane in a fixed, documented order — partition check (no
+/// draw), independent loss (one draw iff `0 < loss < 1`), burst-channel
+/// transition + loss draws (only when burst is configured), latency draw
+/// (iff `base_latency_ms > 0` and `jitter_spread > 0`), duplication draw
+/// (iff `0 < duplicate < 1`, plus a latency draw for the copy). With an
+/// inert config a lane consumes **zero** draws, which is what keeps
+/// zero-fault runs byte-identical to runs without the plane. Because each
+/// sender has its own lane, the parallel round engine can move lanes into
+/// send jobs ([`FaultPlane::take_lanes`]) without changing any sender's
+/// decide stream.
 #[derive(Debug)]
 pub struct FaultPlane {
     cfg: FaultConfig,
-    rng: DetRng,
-    burst_bad: bool,
+    lane_base: DetRng,
+    lanes: Vec<FaultLane>,
     partitions: Vec<Partition>,
+    view: PartitionView,
     counters: FaultCounters,
 }
 
 impl FaultPlane {
-    /// Build a plane from a config and its dedicated RNG fork.
-    pub fn new(cfg: FaultConfig, rng: DetRng) -> FaultPlane {
+    /// Build a plane from a config and its dedicated RNG fork. Lanes are
+    /// grown lazily as senders appear (lane `i` is always `base.fork(i)`).
+    pub fn new(cfg: FaultConfig, lane_base: DetRng) -> FaultPlane {
         FaultPlane {
             cfg,
-            rng,
-            burst_bad: false,
+            lane_base,
+            lanes: Vec::new(),
             partitions: Vec::new(),
+            view: PartitionView::default(),
             counters: FaultCounters::default(),
         }
     }
@@ -80,7 +194,8 @@ impl FaultPlane {
 
     /// Mutable access for counters incremented by the host (`retries`,
     /// `backoff_gaveups`, `crash_restarts`, `reordered`, `dedup_suppressed`,
-    /// `dropped_expired` — events only the delivery loop can observe).
+    /// `dropped_expired` — events only the delivery loop can observe), and
+    /// for merging per-shard counter deltas back after a parallel round.
     pub fn counters_mut(&mut self) -> &mut FaultCounters {
         &mut self.counters
     }
@@ -92,6 +207,7 @@ impl FaultPlane {
             members: members.into_iter().collect(),
             active: false,
         });
+        self.rebuild_view();
         self.partitions.len() - 1
     }
 
@@ -100,81 +216,69 @@ impl FaultPlane {
         if let Some(p) = self.partitions.get_mut(idx) {
             p.active = active;
         }
+        self.rebuild_view();
     }
 
-    /// True when any active partition separates `a` from `b` (exactly one
-    /// of the two is inside the partition's member set).
-    pub fn partitioned(&self, a: NodeId, b: NodeId) -> bool {
-        self.partitions
-            .iter()
-            .any(|p| p.active && (p.members.contains(&a) != p.members.contains(&b)))
-    }
-
-    /// Whether the Gilbert–Elliott channel is currently in the bad state.
-    pub fn burst_bad(&self) -> bool {
-        self.burst_bad
-    }
-
-    /// Decide the fate of one send from `a` to `b`, consuming RNG draws in
-    /// the fixed order documented on the type. Drops attributed to the
-    /// plane (`partitioned`, `dropped_burst`) and scheduling effects
-    /// (`delayed`, `duplicated`) are counted here; independent-loss drops
-    /// are counted by the caller in the encounter block, where the legacy
-    /// `message_loss` knob has always lived.
-    pub fn decide(&mut self, a: NodeId, b: NodeId) -> SendOutcome {
-        if self.partitioned(a, b) {
-            self.counters.partitioned += 1;
-            return SendOutcome::DropPartitioned;
-        }
-        if self.cfg.loss > 0.0 && self.rng.chance(self.cfg.loss) {
-            return SendOutcome::DropIndependent;
-        }
-        if let Some(burst) = self.cfg.burst {
-            if self.burst_bad {
-                if self.rng.chance(burst.p_exit_bad) {
-                    self.burst_bad = false;
-                }
-            } else if self.rng.chance(burst.p_enter_bad) {
-                self.burst_bad = true;
-            }
-            let p_loss = if self.burst_bad {
-                burst.loss_bad
-            } else {
-                burst.loss_good
-            };
-            if p_loss > 0.0 && self.rng.chance(p_loss) {
-                self.counters.dropped_burst += 1;
-                return SendOutcome::DropBurst;
-            }
-        }
-        let delay = self.draw_latency();
-        if !delay.is_zero() {
-            self.counters.delayed += 1;
-        }
-        let duplicate_delay = if self.cfg.duplicate > 0.0 && self.rng.chance(self.cfg.duplicate) {
-            self.counters.duplicated += 1;
-            Some(self.draw_latency())
-        } else {
-            None
+    fn rebuild_view(&mut self) {
+        self.view = PartitionView {
+            active_sets: self
+                .partitions
+                .iter()
+                .filter(|p| p.active)
+                .map(|p| p.members.clone())
+                .collect(),
         };
-        SendOutcome::Deliver {
-            delay,
-            duplicate_delay,
+    }
+
+    /// True when any active partition separates `a` from `b`.
+    pub fn partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.view.partitioned(a, b)
+    }
+
+    /// A cloneable snapshot of the active partition sets, for send jobs.
+    pub fn partition_view(&self) -> PartitionView {
+        self.view.clone()
+    }
+
+    /// Whether any sender's Gilbert–Elliott channel is in the bad state.
+    pub fn burst_bad(&self) -> bool {
+        self.lanes.iter().any(|lane| lane.burst_bad)
+    }
+
+    /// Make sure lanes `0..n` exist (lane `i` is derived as `base.fork(i)`
+    /// the first time sender `i` appears, so growth order cannot matter).
+    pub fn ensure_lanes(&mut self, n: usize) {
+        while self.lanes.len() < n {
+            let lane = FaultLane::new(&self.lane_base, self.lanes.len());
+            self.lanes.push(lane);
         }
     }
 
-    /// One latency draw: `base · uniform[1 − spread, 1 + spread]` ms,
-    /// consuming a draw only when both base and spread are non-zero.
-    fn draw_latency(&mut self) -> SimDuration {
-        let base = self.cfg.base_latency_ms;
-        if base == 0 {
-            return SimDuration::from_millis(0);
-        }
-        if self.cfg.jitter_spread <= 0.0 {
-            return SimDuration::from_millis(base);
-        }
-        let ms = self.rng.jitter(base as f64, self.cfg.jitter_spread);
-        SimDuration::from_millis(ms.max(0.0).round() as u64)
+    /// Move all lanes out for a parallel send phase. The caller must hand
+    /// every lane back via [`FaultPlane::restore_lanes`] in sender order;
+    /// a decide while lanes are lent out would mint a fresh lane and
+    /// corrupt the sender's stream, so don't do that.
+    pub fn take_lanes(&mut self) -> Vec<FaultLane> {
+        std::mem::take(&mut self.lanes)
+    }
+
+    /// Hand lanes back after a parallel send phase (in sender order).
+    pub fn restore_lanes(&mut self, lanes: Vec<FaultLane>) {
+        self.lanes = lanes;
+    }
+
+    /// Decide the fate of one send from `a` to `b`, consuming draws from
+    /// `a`'s lane. See the type-level determinism contract.
+    pub fn decide(&mut self, a: NodeId, b: NodeId) -> SendOutcome {
+        self.ensure_lanes(a.index() + 1);
+        let FaultPlane {
+            cfg,
+            lanes,
+            view,
+            counters,
+            ..
+        } = self;
+        lanes[a.index()].decide(cfg, view, counters, a, b)
     }
 }
 
@@ -190,7 +294,6 @@ mod tests {
     #[test]
     fn inert_plane_always_delivers_synchronously_with_zero_draws() {
         let mut p = plane(FaultConfig::default());
-        let mut witness = DetRng::new(42).fork(5);
         for i in 0..100u32 {
             let got = p.decide(NodeId(i % 7), NodeId((i + 1) % 7));
             assert_eq!(
@@ -201,10 +304,81 @@ mod tests {
                 }
             );
         }
-        // The plane's stream is untouched: it produces the same next value
-        // as a fresh fork that never decided anything.
-        assert_eq!(p.rng.next_f64(), witness.next_f64());
+        // Every sender lane's stream is untouched: each produces the same
+        // next value as a fresh per-sender fork that never decided anything.
+        for sender in 0..7u64 {
+            let mut witness = DetRng::new(42).fork(5).fork(sender);
+            assert_eq!(
+                p.lanes[sender as usize].rng.next_f64(),
+                witness.next_f64(),
+                "lane {sender} consumed draws while inert"
+            );
+        }
         assert_eq!(p.counters().total(), 0);
+    }
+
+    #[test]
+    fn lanes_are_keyed_by_sender_id_not_creation_order() {
+        // Growing lanes in different orders must yield identical streams:
+        // lane i is always base.fork(i).
+        let cfg = FaultConfig {
+            base_latency_ms: 500,
+            jitter_spread: 0.5,
+            ..FaultConfig::default()
+        };
+        let mut early = plane(cfg);
+        early.ensure_lanes(9); // all lanes up front
+        let mut lazy = plane(cfg);
+        let seq = |p: &mut FaultPlane| -> Vec<SendOutcome> {
+            (0..200u32)
+                .map(|i| p.decide(NodeId(i % 9), NodeId((i + 4) % 9)))
+                .collect()
+        };
+        assert_eq!(seq(&mut early), seq(&mut lazy));
+    }
+
+    #[test]
+    fn taken_lanes_decide_identically_to_the_plane() {
+        // The parallel send phase moves lanes out, decides, and restores
+        // them; the outcome stream must match in-plane decides exactly.
+        let cfg = FaultConfig {
+            base_latency_ms: 500,
+            jitter_spread: 0.5,
+            loss: 0.1,
+            duplicate: 0.05,
+            burst: Some(BurstLoss::with_overall_loss(0.2, 5.0)),
+            retry: None,
+        };
+        let mut in_plane = plane(cfg);
+        let a: Vec<SendOutcome> = (0..300u32)
+            .map(|i| in_plane.decide(NodeId(i % 5), NodeId((i + 1) % 5)))
+            .collect();
+
+        let mut lent = plane(cfg);
+        lent.ensure_lanes(5);
+        let view = lent.partition_view();
+        let mut lanes = lent.take_lanes();
+        let mut counters = FaultCounters::default();
+        let b: Vec<SendOutcome> = (0..300u32)
+            .map(|i| {
+                let s = (i % 5) as usize;
+                lanes[s].decide(
+                    &cfg,
+                    &view,
+                    &mut counters,
+                    NodeId(i % 5),
+                    NodeId((i + 1) % 5),
+                )
+            })
+            .collect();
+        lent.restore_lanes(lanes);
+        assert_eq!(a, b);
+        lent.counters_mut().merge_from(&counters);
+        assert_eq!(
+            in_plane.counters().total(),
+            lent.counters().total(),
+            "merged lane counters must match in-plane counting"
+        );
     }
 
     #[test]
@@ -222,6 +396,9 @@ mod tests {
         assert_eq!(p.counters().partitioned, 1);
         p.set_partition_active(idx, false);
         assert!(!p.partitioned(NodeId(0), NodeId(2)));
+        // The cloneable view agrees with the plane at each toggle.
+        p.set_partition_active(idx, true);
+        assert!(p.partition_view().partitioned(NodeId(0), NodeId(2)));
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub fn run(root: &Path) -> Report {
     }
     findings.extend(xcheck::telemetry_coverage(root));
     findings.extend(xcheck::config_drift(root));
+    findings.extend(xcheck::threading_config(root));
     findings.sort_by(|a, b| {
         (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
     });

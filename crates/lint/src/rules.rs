@@ -45,6 +45,12 @@ pub struct TokenRule {
     pub patterns: &'static [&'static [&'static str]],
     /// Why the construct is banned and what to use instead.
     pub rationale: &'static str,
+    /// Workspace-relative paths where the rule is structurally exempt.
+    /// Unlike `allow(...)` annotations (which suppress one occurrence with
+    /// a written excuse), an exempt path is the *sanctioned home* of the
+    /// construct: the place whose whole purpose is to own it. Keep this
+    /// list near-empty — every entry widens the audited surface.
+    pub exempt_paths: &'static [&'static str],
 }
 
 /// All token rules, in reporting order.
@@ -57,6 +63,7 @@ pub const TOKEN_RULES: &[TokenRule] = &[
         rationale:
             "std hash containers iterate in RandomState order, which breaks bit-reproducible \
                     runs; use BTreeMap/BTreeSet or a sorted+deduped Vec",
+        exempt_paths: &[],
     },
     TokenRule {
         id: "wall-clock",
@@ -65,6 +72,7 @@ pub const TOKEN_RULES: &[TokenRule] = &[
         patterns: &[&["Instant", "::", "now"], &["SystemTime"]],
         rationale: "wall-clock reads make runs irreproducible; simulation time must come from \
                     rvs_sim::SimTime and profiling belongs behind telemetry's gated PhaseTimer",
+        exempt_paths: &[],
     },
     TokenRule {
         id: "ambient-rng",
@@ -79,6 +87,7 @@ pub const TOKEN_RULES: &[TokenRule] = &[
         ],
         rationale: "ambient entropy bypasses the seeded, forked DetRng streams every stochastic \
                     choice must flow through; plumb a DetRng instead",
+        exempt_paths: &[],
     },
     TokenRule {
         id: "ambient-env",
@@ -87,6 +96,7 @@ pub const TOKEN_RULES: &[TokenRule] = &[
         patterns: &[&["std", "::", "env"]],
         rationale: "process environment reads make behaviour depend on invocation context; \
                     restrict std::env to annotated CLI entry points",
+        exempt_paths: &[],
     },
     TokenRule {
         id: "ambient-thread",
@@ -95,6 +105,7 @@ pub const TOKEN_RULES: &[TokenRule] = &[
         patterns: &[&["std", "::", "thread"]],
         rationale: "the DES core is single-threaded by design; threads are only justified in the \
                     annotated fan-out harness whose determinism is proven by tests",
+        exempt_paths: &["crates/sim/src/pool.rs"],
     },
     TokenRule {
         id: "panic-surface",
@@ -111,11 +122,12 @@ pub const TOKEN_RULES: &[TokenRule] = &[
         rationale: "protocol crates gossip adversarial input; a reachable panic is a remote \
                     crash — return Option/Result or handle the case explicitly \
                     (assert!/debug_assert! for documented invariants are permitted)",
+        exempt_paths: &[],
     },
 ];
 
 /// Rule ids that exist only as cross-file checks (valid in annotations).
-pub const CROSS_CHECK_RULES: &[&str] = &["telemetry-coverage", "config-drift"];
+pub const CROSS_CHECK_RULES: &[&str] = &["telemetry-coverage", "config-drift", "threading-config"];
 
 /// Is `rule` a known rule id (token or cross-check)?
 pub fn known_rule(rule: &str) -> bool {
@@ -235,6 +247,9 @@ pub fn check_source(rel_path: &str, src: &str) -> Vec<Finding> {
             Scope::Workspace => true,
         };
         if !in_scope || (!rule.include_tests && class.test_file) {
+            continue;
+        }
+        if rule.exempt_paths.contains(&rel_path) {
             continue;
         }
         for pattern in rule.patterns {

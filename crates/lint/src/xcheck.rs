@@ -464,6 +464,56 @@ pub fn config_drift(root: &Path) -> Vec<Finding> {
     findings
 }
 
+/// Threading knobs: (knob spelling, source file that must implement it).
+/// These are the only sanctioned ways to change the worker count, and the
+/// differential harness proves they cannot change results — but only if the
+/// documentation keeps naming them so users know they are safe to turn.
+const THREADING_KNOBS: &[(&str, &str)] = &[
+    ("RVS_THREADS", "crates/sim/src/pool.rs"),
+    ("--threads", "src/bin/rvs.rs"),
+    ("set_threads", "crates/scenario/src/system.rs"),
+];
+
+/// **threading-config**: every threading knob must exist in the source file
+/// that owns it and be documented in DESIGN.md's configuration surface.
+/// A knob that disappears from code while DESIGN.md still advertises it (or
+/// vice versa) is drift of the kind this lint exists to catch.
+pub fn threading_config(root: &Path) -> Vec<Finding> {
+    const DESIGN: &str = "DESIGN.md";
+    let mut findings = Vec::new();
+    let Some(design) = read(root, DESIGN, &mut findings) else {
+        return findings;
+    };
+    for (knob, rel) in THREADING_KNOBS {
+        let Some(src) = read(root, rel, &mut findings) else {
+            continue;
+        };
+        if !src.contains(knob) {
+            findings.push(Finding::new(
+                "threading-config",
+                rel,
+                0,
+                format!(
+                    "threading knob `{knob}` is no longer implemented in {rel} — update \
+                     THREADING_KNOBS (and DESIGN.md) if it moved or was removed"
+                ),
+            ));
+        }
+        if !design.contains(knob) {
+            findings.push(Finding::new(
+                "threading-config",
+                DESIGN,
+                0,
+                format!(
+                    "threading knob `{knob}` ({rel}) is not documented in DESIGN.md — every \
+                     way to change the worker count must appear in the configuration table"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

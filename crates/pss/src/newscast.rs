@@ -185,8 +185,13 @@ impl NewscastPss {
     }
 }
 
-impl PeerSampler for NewscastPss {
-    fn sample(&mut self, requester: NodeId, rng: &mut DetRng) -> Option<NodeId> {
+impl NewscastPss {
+    /// Sample without mutating the sampler: views only change during
+    /// [`NewscastPss::gossip_round`] and churn, never on sampling, so the
+    /// parallel send phase can share one view set across per-peer jobs
+    /// (each drawing from its own RNG lane) and match the `&mut` trait
+    /// path draw for draw.
+    pub fn sample_from(&self, requester: NodeId, rng: &mut DetRng) -> Option<NodeId> {
         let view = &self.views[requester.index()];
         let candidates: Vec<NodeId> = view
             .iter()
@@ -198,6 +203,12 @@ impl PeerSampler for NewscastPss {
         } else {
             Some(candidates[rng.index(candidates.len())])
         }
+    }
+}
+
+impl PeerSampler for NewscastPss {
+    fn sample(&mut self, requester: NodeId, rng: &mut DetRng) -> Option<NodeId> {
+        self.sample_from(requester, rng)
     }
 }
 

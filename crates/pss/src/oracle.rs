@@ -71,8 +71,12 @@ impl OraclePss {
     }
 }
 
-impl PeerSampler for OraclePss {
-    fn sample(&mut self, requester: NodeId, rng: &mut DetRng) -> Option<NodeId> {
+impl OraclePss {
+    /// Sample without mutating the sampler: the oracle's state only
+    /// changes on churn, never on sampling, so the parallel send phase can
+    /// share one view across per-peer jobs (each drawing from its own RNG
+    /// lane) and match the `&mut` trait path draw for draw.
+    pub fn sample_from(&self, requester: NodeId, rng: &mut DetRng) -> Option<NodeId> {
         match self.online.len() {
             0 => None,
             1 => {
@@ -90,6 +94,12 @@ impl PeerSampler for OraclePss {
                 }
             }
         }
+    }
+}
+
+impl PeerSampler for OraclePss {
+    fn sample(&mut self, requester: NodeId, rng: &mut DetRng) -> Option<NodeId> {
+        self.sample_from(requester, rng)
     }
 }
 

@@ -2,57 +2,27 @@
 //!
 //! Multi-run averages (the paper uses 10 runs per configuration) and
 //! parameter sweeps are embarrassingly parallel: every run owns its whole
-//! system state and shares nothing. We use `std::thread::scope` so run
-//! closures may borrow the (read-only) configuration from the caller's
-//! stack, and collect results through a `std::sync::Mutex`, preserving
-//! run order by index.
-// rvs-lint: allow-file(ambient-thread) -- scoped fan-out over independent runs; determinism is proven by the parallel_determinism tests (results depend only on run index, never on scheduling)
-
-use std::sync::Mutex;
+//! system state and shares nothing. All threading is delegated to
+//! `rvs_sim::pool` — the single sanctioned home for thread fan-out in this
+//! workspace (the lint gate's ambient-thread rule whitelists only that
+//! module). Results come back in index order: thread scheduling never
+//! affects results, only wall-clock time.
 
 /// Execute `f(0..n)` across up to `max_threads` worker threads and return
-/// the results in index order. `f` must be deterministic per index —
-/// thread scheduling never affects results, only wall-clock time.
+/// the results in index order. `f` must be deterministic per index.
 pub fn parallel_runs<T, F>(n: usize, max_threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     assert!(max_threads > 0, "need at least one worker");
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next: Mutex<usize> = Mutex::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..max_threads.min(n.max(1)) {
-            scope.spawn(|| loop {
-                let idx = {
-                    let mut guard = next.lock().unwrap();
-                    if *guard >= n {
-                        break;
-                    }
-                    let i = *guard;
-                    *guard += 1;
-                    i
-                };
-                let value = f(idx);
-                results.lock().unwrap()[idx] = Some(value);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("worker thread panicked")
-        .into_iter()
-        .map(|v| v.expect("all indices computed"))
-        .collect()
+    rvs_sim::pool::run_indexed(n, max_threads, f)
 }
 
 /// Default worker count: the machine's parallelism, capped at the number
 /// of runs.
 pub fn default_threads(runs: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(runs.max(1))
+    rvs_sim::pool::available_threads().min(runs.max(1))
 }
 
 #[cfg(test)]

@@ -7,14 +7,18 @@ use rvs_attacks::FlashCrowd;
 use rvs_bartercast::{AdaptiveThreshold, BarterCast};
 use rvs_bittorrent::BitTorrentNet;
 use rvs_core::{BallotBox, VoteEntry, VoteSampling};
-use rvs_faults::{Backoff, BackoffDecision, FaultPlane, FaultSchedule, SendOutcome};
+use rvs_faults::{
+    Backoff, BackoffDecision, FaultConfig, FaultLane, FaultPlane, FaultSchedule, PartitionView,
+    SendOutcome,
+};
 use rvs_metrics::{collective_experience_value, correct_ordering_fraction, pollution_fraction};
 use rvs_modcast::{KeyRegistry, LocalVote, ModerationCast};
-use rvs_pss::{NewscastConfig, NewscastPss, OraclePss, PeerSampler};
-use rvs_sim::{DetRng, Engine, ModeratorId, NodeId, SimTime};
-use rvs_telemetry::{EncounterCounters, PhaseTimer, Snapshot};
+use rvs_pss::{NewscastConfig, NewscastPss, OraclePss};
+use rvs_sim::{pool, DetRng, Engine, ModeratorId, NodeId, Pool, SimTime};
+use rvs_telemetry::{EncounterCounters, FaultCounters, PhaseTimer, Snapshot};
 use rvs_trace::{Trace, TraceEventKind};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Evaluator nodes whose contribution caches are coherence-sampled per
 /// audited gossip round.
@@ -79,10 +83,13 @@ impl Pss {
             Pss::Newscast(n) => n.set_offline(peer),
         }
     }
-    fn sample(&mut self, requester: NodeId, rng: &mut DetRng) -> Option<NodeId> {
+    /// Read-only sampling: PSS state never changes on sampling (only on
+    /// churn and gossip rounds), so parallel send jobs can share one view
+    /// while drawing from their own per-peer RNG lanes.
+    fn sample_from(&self, requester: NodeId, rng: &mut DetRng) -> Option<NodeId> {
         match self {
-            Pss::Oracle(o) => o.sample(requester, rng),
-            Pss::Newscast(n) => n.sample(requester, rng),
+            Pss::Oracle(o) => o.sample_from(requester, rng),
+            Pss::Newscast(n) => n.sample_from(requester, rng),
         }
     }
     fn gossip_round(&mut self, now: SimTime, rng: &mut DetRng) {
@@ -119,12 +126,27 @@ pub struct System {
     now: SimTime,
     next_event: usize,
     next_gossip: SimTime,
-    rng_bt: DetRng,
     rng_gossip: DetRng,
     rng_pss: DetRng,
     // Dedicated stream for audit sampling so enabling the auditor never
     // perturbs protocol randomness.
     rng_audit: DetRng,
+    /// Per-peer send-phase RNG lanes (PSS sample draws), keyed by peer id
+    /// so the stream each peer observes is independent of sharding.
+    send_rng: Vec<DetRng>,
+
+    // Parallel round engine. The pool shards per-peer send planning and
+    // per-swarm BitTorrent windows; results merge in canonical order, so
+    // `threads` can never change results (proven by
+    // tests/parallel_differential.rs).
+    threads: usize,
+    pool: Pool,
+    /// First BitTorrent tick not yet materialized.
+    bt_window_start: SimTime,
+    /// Online snapshot at `bt_window_start` (end of the last window).
+    bt_online0: Vec<bool>,
+    /// Trace events consumed by materialized windows so far.
+    bt_event_lo: usize,
 
     enc: EncounterCounters,
     timer: PhaseTimer,
@@ -176,7 +198,7 @@ impl System {
         let n_total = n_trace + crowd_size;
         let root = DetRng::new(seed);
 
-        let net = BitTorrentNet::new(&trace, cfg.net);
+        let net = BitTorrentNet::new(&trace, cfg.net, &root.fork(1));
         let pss = if cfg.use_newscast_pss {
             Pss::Newscast(NewscastPss::new(n_total, NewscastConfig::default()))
         } else {
@@ -246,6 +268,9 @@ impl System {
             }
         }
 
+        let send_base = root.fork(6);
+        let threads = pool::env_threads();
+        let bt_online0 = net.online_flags().to_vec();
         System {
             cfg,
             setup,
@@ -268,10 +293,15 @@ impl System {
             now: SimTime::ZERO,
             next_event: 0,
             next_gossip: SimTime::ZERO,
-            rng_bt: root.fork(1),
             rng_gossip: root.fork(2),
             rng_pss: root.fork(3),
             rng_audit: root.fork(4),
+            send_rng: (0..n_total as u64).map(|i| send_base.fork(i)).collect(),
+            threads,
+            pool: Pool::new(threads),
+            bt_window_start: SimTime::ZERO,
+            bt_online0,
+            bt_event_lo: 0,
             enc: EncounterCounters::default(),
             timer: PhaseTimer::new(),
             audit: None,
@@ -284,6 +314,24 @@ impl System {
             vox_backoff: vec![Backoff::new(); n_total],
             vox_decliners: vec![BTreeSet::new(); n_total],
         }
+    }
+
+    /// Set the worker-thread count for the parallel round engine (clamped
+    /// to at least 1; 1 runs everything inline on the caller's thread).
+    /// Thread count can never change results — per-peer and per-swarm RNG
+    /// streams are keyed by id and cross-shard effects merge in canonical
+    /// order — so this is purely a wall-clock knob.
+    pub fn set_threads(&mut self, threads: usize) {
+        let threads = threads.max(1);
+        if threads != self.threads {
+            self.threads = threads;
+            self.pool = Pool::new(threads);
+        }
+    }
+
+    /// The worker-thread count the round engine is using.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Switch on runtime invariant auditing (idempotent). The [`Auditor`]
@@ -483,10 +531,16 @@ impl System {
         while self.now < end {
             self.step();
             if self.now >= next_sample {
+                // Materialize pending BitTorrent ticks so the observer sees
+                // transfers up to the current tick, exactly as the serial
+                // engine always did. Sample cadence is thread-independent,
+                // so this cannot perturb thread-count invariance.
+                self.materialize_bt(self.now);
                 observer(self, self.now);
                 next_sample = self.now + sample_every;
             }
         }
+        self.materialize_bt(self.now);
         observer(self, end);
     }
 
@@ -501,13 +555,16 @@ impl System {
         while let Some((_, ev)) = self.fault_events.next_before(self.now) {
             self.handle_fault_event(ev);
         }
-        // Trace events at or before the current tick.
+        // Trace events at or before the current tick. Only the churn side
+        // (online flags, PSS membership) applies immediately; the
+        // swarm-level mutations are replayed tick-accurately inside the
+        // next BitTorrent window, which runs the same `time <= tick` rule.
         while self.next_event < self.trace.events.len()
             && self.trace.events[self.next_event].time <= self.now
         {
             let ev = self.trace.events[self.next_event];
             self.next_event += 1;
-            self.net.apply_event(&ev, self.now);
+            self.net.note_event(&ev);
             match ev.kind {
                 TraceEventKind::Online => {
                     let introducer = self.any_online_except(ev.peer);
@@ -517,17 +574,40 @@ impl System {
                 TraceEventKind::StartDownload { .. } => {}
             }
         }
-        self.timer.start("bittorrent");
-        self.net.tick(self.now, &mut self.rng_bt);
-        self.timer.stop();
         self.update_crowd();
         if self.now >= self.next_gossip {
+            // Materialize BitTorrent ticks up to and including this one,
+            // so the gossip round reads a ledger exact as of `now` — the
+            // same state the per-tick serial engine produced.
+            self.materialize_bt(self.now + self.cfg.net.tick);
             self.timer.start("gossip");
             self.gossip_round();
             self.timer.stop();
             self.next_gossip = self.now + self.cfg.gossip_every;
         }
         self.now += self.cfg.net.tick;
+    }
+
+    /// Materialize every pending BitTorrent tick in
+    /// `[bt_window_start, end_exclusive)` as one parallel window, then
+    /// re-capture the online snapshot and event cursor for the next one.
+    fn materialize_bt(&mut self, end_exclusive: SimTime) {
+        if self.bt_window_start >= end_exclusive {
+            return;
+        }
+        self.timer.start("bittorrent");
+        let events = &self.trace.events[self.bt_event_lo..self.next_event];
+        self.bt_window_start = self.net.advance_window(
+            self.bt_window_start,
+            end_exclusive,
+            events,
+            &self.bt_online0,
+            &self.pool,
+        );
+        self.bt_event_lo = self.next_event;
+        self.bt_online0.clear();
+        self.bt_online0.extend_from_slice(self.net.online_flags());
+        self.timer.stop();
     }
 
     /// A deterministically random online node other than `except`, drawn
@@ -594,33 +674,19 @@ impl System {
         }
     }
 
-    /// One protocol gossip round over every online node.
+    /// One protocol gossip round over every online node: a parallel
+    /// *plan* phase (per-peer PSS sample + fault decide, each peer drawing
+    /// from its own RNG lanes) followed by a strictly serial *apply* phase
+    /// in ascending sender order — the canonical `(round, sender, seq)`
+    /// merge order that makes results independent of thread count.
     fn gossip_round(&mut self) {
         self.pss.gossip_round(self.now, &mut self.rng_pss);
         self.publish_due_moderations();
         self.cast_due_votes();
-        for idx in 0..self.n_total {
-            let i = NodeId::from_index(idx);
-            if !self.is_online(i) {
-                continue;
-            }
-            self.enc.attempted += 1;
-            let Some(j) = self.pss.sample(i, &mut self.rng_pss) else {
-                self.enc.dropped_no_sample += 1;
-                continue;
-            };
-            if i == j {
-                self.enc.dropped_self_target += 1;
-                continue;
-            }
-            // Contacting an offline peer fails (stale PSS views).
-            if !self.is_online(j) {
-                self.enc.dropped_offline_target += 1;
-                continue;
-            }
-            // Every send routes through the fault plane, which decides
-            // loss/latency/duplication; attempt 1 is the initial send.
-            self.dispatch(i, j, 1);
+        let plans = self.plan_sends();
+        for (i, j, outcome) in plans {
+            // Attempt 1 is the initial send; retries re-enter via dispatch.
+            self.apply_outcome(i, j, 1, outcome);
         }
         if self.adaptive.is_some() {
             self.observe_dispersion();
@@ -666,18 +732,130 @@ impl System {
         }
     }
 
-    /// Route one send from `i` to `j` through the fault plane. The caller
-    /// has already counted `attempted` and verified both endpoints online.
+    /// Plan this round's sends in parallel: snapshot the online flags and
+    /// partition state, lend the (read-only) PSS views to the pool, and
+    /// move each sender's RNG lane and fault lane into its shard job. Jobs
+    /// emit per-sender plans plus per-shard counter deltas; both merge
+    /// back in ascending sender order, so the result is a pure function of
+    /// per-peer streams — never of sharding.
+    fn plan_sends(&mut self) -> Vec<(NodeId, NodeId, SendOutcome)> {
+        let n = self.n_total;
+        struct SendCtx {
+            pss: Pss,
+            online: Vec<bool>,
+            cfg: FaultConfig,
+            view: PartitionView,
+        }
+        self.faults.ensure_lanes(n);
+        let ctx = Arc::new(SendCtx {
+            pss: std::mem::replace(&mut self.pss, Pss::Oracle(OraclePss::new(0))),
+            online: (0..n)
+                .map(|i| self.is_online(NodeId::from_index(i)))
+                .collect(),
+            cfg: *self.faults.config(),
+            view: self.faults.partition_view(),
+        });
+        let mut send_rng = std::mem::take(&mut self.send_rng).into_iter();
+        let mut lanes = self.faults.take_lanes().into_iter();
+
+        type ChunkResult = (
+            Vec<DetRng>,
+            Vec<FaultLane>,
+            Vec<(NodeId, NodeId, SendOutcome)>,
+            EncounterCounters,
+            FaultCounters,
+        );
+        let chunk_count = self.pool.threads().min(n.max(1));
+        let chunk_size = n.max(1).div_ceil(chunk_count);
+        let mut jobs: Vec<Box<dyn FnOnce() -> ChunkResult + Send + 'static>> = Vec::new();
+        let mut base = 0usize;
+        while base < n {
+            let len = chunk_size.min(n - base);
+            let rngs: Vec<DetRng> = send_rng.by_ref().take(len).collect();
+            let chunk_lanes: Vec<FaultLane> = lanes.by_ref().take(len).collect();
+            let ctx = Arc::clone(&ctx);
+            jobs.push(Box::new(move || {
+                let mut rngs = rngs;
+                let mut chunk_lanes = chunk_lanes;
+                let mut plans = Vec::new();
+                let mut enc = EncounterCounters::default();
+                let mut fc = FaultCounters::default();
+                for k in 0..rngs.len() {
+                    let i = NodeId::from_index(base + k);
+                    if !ctx.online[i.index()] {
+                        continue;
+                    }
+                    enc.attempted += 1;
+                    let Some(j) = ctx.pss.sample_from(i, &mut rngs[k]) else {
+                        enc.dropped_no_sample += 1;
+                        continue;
+                    };
+                    if i == j {
+                        enc.dropped_self_target += 1;
+                        continue;
+                    }
+                    // Contacting an offline peer fails (stale PSS views).
+                    if !ctx.online[j.index()] {
+                        enc.dropped_offline_target += 1;
+                        continue;
+                    }
+                    // Every send routes through the fault plane, which
+                    // decides loss/latency/duplication from the sender's
+                    // own lane.
+                    let outcome = chunk_lanes[k].decide(&ctx.cfg, &ctx.view, &mut fc, i, j);
+                    if matches!(outcome, SendOutcome::DropIndependent) {
+                        // Independent loss keeps its historical home in the
+                        // encounter block (`message_loss` attribution).
+                        enc.dropped_message_loss += 1;
+                    }
+                    plans.push((i, j, outcome));
+                }
+                (rngs, chunk_lanes, plans, enc, fc)
+            }));
+            base += len;
+        }
+
+        let mut plans = Vec::new();
+        let mut all_rngs = Vec::with_capacity(n);
+        let mut all_lanes = Vec::with_capacity(n);
+        for (rngs, chunk_lanes, chunk_plans, enc, fc) in self.pool.scatter(jobs) {
+            all_rngs.extend(rngs);
+            all_lanes.extend(chunk_lanes);
+            plans.extend(chunk_plans);
+            self.enc.merge_from(&enc);
+            self.faults.counters_mut().merge_from(&fc);
+        }
+        self.send_rng = all_rngs;
+        self.faults.restore_lanes(all_lanes);
+        let ctx = Arc::try_unwrap(ctx)
+            .unwrap_or_else(|_| unreachable!("scatter joined every job, so no Arc clone survives"));
+        self.pss = ctx.pss;
+        plans
+    }
+
+    /// Route one send from `i` to `j` through the fault plane (the serial
+    /// path, used by backoff resends). The caller has already counted
+    /// `attempted` and verified both endpoints online.
     fn dispatch(&mut self, i: NodeId, j: NodeId, attempt: u32) {
-        match self.faults.decide(i, j) {
-            SendOutcome::DropIndependent => {
-                // Independent loss keeps its historical home in the
-                // encounter block (`message_loss` attribution).
-                self.enc.dropped_message_loss += 1;
-                self.maybe_retry(i, j, attempt);
-            }
-            SendOutcome::DropBurst | SendOutcome::DropPartitioned => {
-                // Attributed inside the plane (dropped_burst/partitioned).
+        let outcome = self.faults.decide(i, j);
+        if matches!(outcome, SendOutcome::DropIndependent) {
+            // Independent loss keeps its historical home in the encounter
+            // block (`message_loss` attribution).
+            self.enc.dropped_message_loss += 1;
+        }
+        self.apply_outcome(i, j, attempt, outcome);
+    }
+
+    /// Apply a decided send outcome: drops feed the retry path, deliveries
+    /// assign the (serial, monotone) message id and either run the
+    /// exchange inline or schedule it. Strictly serial — this is where
+    /// cross-peer state changes, in canonical sender order.
+    fn apply_outcome(&mut self, i: NodeId, j: NodeId, attempt: u32, outcome: SendOutcome) {
+        match outcome {
+            SendOutcome::DropIndependent
+            | SendOutcome::DropBurst
+            | SendOutcome::DropPartitioned => {
+                // Loss attribution already happened where the decide ran.
                 self.maybe_retry(i, j, attempt);
             }
             SendOutcome::Deliver {
@@ -844,7 +1022,11 @@ impl System {
             return;
         }
         self.enc.attempted += 1;
-        let target = match self.pss.sample(from, &mut self.rng_pss) {
+        // Resends draw from the sender's own send lane — the same stream
+        // its round sends use — so the per-peer draw order is a fixed
+        // interleaving of rounds and (serially processed) retries,
+        // independent of thread count.
+        let target = match self.pss.sample_from(from, &mut self.send_rng[from.index()]) {
             Some(t) if t != from && t != to => t,
             _ => to,
         };

@@ -20,11 +20,13 @@
 pub mod engine;
 pub mod event;
 pub mod id;
+pub mod pool;
 pub mod rng;
 pub mod time;
 
 pub use engine::Engine;
 pub use event::EventQueue;
 pub use id::{ModeratorId, NodeId, SwarmId};
+pub use pool::Pool;
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

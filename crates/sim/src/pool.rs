@@ -1,0 +1,292 @@
+//! The sanctioned worker pool for deterministic parallel execution.
+//!
+//! Everything in this workspace that fans out across threads goes through
+//! this module — the lint gate's ambient-thread rule whitelists exactly this
+//! file. Two primitives are exposed:
+//!
+//! * [`Pool::scatter`] — run a batch of jobs and return their results **in
+//!   job order**, regardless of which worker finished first. With one
+//!   thread the jobs run inline on the caller's thread, in index order, so
+//!   the serial engine and the parallel engine share a single code path and
+//!   byte-identical results are a structural property, not an accident.
+//! * [`merge_canonical`] — fold per-shard, key-ordered result streams into
+//!   one stream sorted by a canonical key (the round engine uses
+//!   `(round, sender, seq)`), independent of how items were sharded.
+//!
+//! Determinism contract: a job may only touch state it owns (moved in) plus
+//! shared read-only context. All cross-shard effects must be returned as
+//! data and applied by the caller in canonical order. The differential
+//! harness in `tests/parallel_differential.rs` proves the contract holds
+//! for the full protocol stack.
+
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of persistent worker threads.
+///
+/// `Pool::new(1)` spawns no threads at all: `scatter` then runs jobs inline,
+/// which is both the fallback for single-core hosts and the reference
+/// execution the differential tests compare against.
+#[derive(Debug)]
+pub struct Pool {
+    threads: usize,
+    tx: Option<Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Create a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return Pool {
+                threads,
+                tx: None,
+                workers: Vec::new(),
+            };
+        }
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // Dequeueing is serialized by the mutex; execution is
+                    // not — the guard is dropped before the job runs.
+                    let job = {
+                        let guard = match rx.lock() {
+                            Ok(guard) => guard,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
+                        guard.recv()
+                    };
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => break,
+                    }
+                })
+            })
+            .collect();
+        Pool {
+            threads,
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// The worker count this pool was built with (minimum 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run every job and return the results in job-submission order.
+    ///
+    /// Workers pick jobs up in submission order but may finish in any
+    /// order; results are re-sequenced by index before returning, so the
+    /// output is identical to running the jobs serially — provided each
+    /// job is a pure function of what it captured.
+    pub fn scatter<R: Send + 'static>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> R + Send + 'static>>,
+    ) -> Vec<R> {
+        let n = jobs.len();
+        let Some(tx) = &self.tx else {
+            return jobs.into_iter().map(|job| job()).collect();
+        };
+        let (result_tx, result_rx) = channel::<(usize, R)>();
+        for (index, job) in jobs.into_iter().enumerate() {
+            let result_tx = result_tx.clone();
+            let wrapped: Job = Box::new(move || {
+                // A send error means the collector already gave up; the
+                // result is dropped and the gap is reported below.
+                let _ = result_tx.send((index, job()));
+            });
+            if tx.send(wrapped).is_err() {
+                break;
+            }
+        }
+        drop(result_tx);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            match result_rx.recv() {
+                Ok((index, result)) => slots[index] = Some(result),
+                Err(_) => break,
+            }
+        }
+        let missing = slots.iter().filter(|slot| slot.is_none()).count();
+        assert!(
+            missing == 0,
+            "{missing} of {n} pool jobs never returned (a worker died mid-job)"
+        );
+        slots.into_iter().flatten().collect()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // Closing the channel makes every idle worker's recv() fail, which
+        // is the shutdown signal.
+        self.tx = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Run `f(0..n)` across at most `max_threads` scoped threads and return the
+/// results in index order. This is the fan-out primitive for independent
+/// *runs* (parameter sweeps, multi-seed averages); the round engine inside
+/// one run uses [`Pool::scatter`] instead.
+pub fn run_indexed<T, F>(n: usize, max_threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = max_threads.max(1).min(n.max(1));
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = Mutex::new(0usize);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = {
+                    let mut guard = match next.lock() {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    let index = *guard;
+                    if index >= n {
+                        break;
+                    }
+                    *guard += 1;
+                    index
+                };
+                let result = f(index);
+                let mut slot = match results[index].lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                *slot = Some(result);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for slot in results {
+        let value = match slot.into_inner() {
+            Ok(value) => value,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        out.extend(value);
+    }
+    assert!(
+        out.len() == n,
+        "a scoped worker exited without storing its result ({} of {n} present)",
+        out.len()
+    );
+    out
+}
+
+/// Merge per-shard result streams into one stream in canonical key order.
+///
+/// The sort is stable, so for items with *distinct* keys (the round engine
+/// keys deliveries by `(round, sender, seq)`, which is unique) the output
+/// is fully determined by the key order alone — independent of shard count,
+/// shard assignment, and the interleaving in which shards produced items.
+/// That invariance is proven by the proptest in `crates/sim/tests`.
+pub fn merge_canonical<K: Ord, T>(shards: Vec<Vec<(K, T)>>) -> Vec<(K, T)> {
+    let mut out: Vec<(K, T)> = shards.into_iter().flatten().collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// The thread count selected by the `RVS_THREADS` environment variable
+/// (the knob the CI matrix sweeps), defaulting to 1 — the serial engine —
+/// when unset or unparsable. Clamped to [1, 64].
+pub fn env_threads() -> usize {
+    // rvs-lint: allow(ambient-env) -- RVS_THREADS selects the worker count only; thread-count invariance is proven by tests/parallel_differential.rs, so this env read cannot change results
+    std::env::var("RVS_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|v| v.clamp(1, 64))
+        .unwrap_or(1)
+}
+
+/// The host's available parallelism, for sizing multi-run fan-outs.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed_jobs(n: usize) -> Vec<Box<dyn FnOnce() -> usize + Send + 'static>> {
+        (0..n)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send + 'static>)
+            .collect()
+    }
+
+    #[test]
+    fn scatter_returns_results_in_job_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let out = pool.scatter(boxed_jobs(37));
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_spawns_no_workers() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        assert!(pool.workers.is_empty());
+        assert_eq!(pool.scatter(boxed_jobs(3)), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let pool = Pool::new(4);
+        let out: Vec<usize> = pool.scatter(Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        let pool = Pool::new(3);
+        for round in 0..50 {
+            let out = pool.scatter(boxed_jobs(round % 7));
+            assert_eq!(out.len(), round % 7);
+        }
+    }
+
+    #[test]
+    fn run_indexed_orders_results() {
+        let out = run_indexed(25, 4, |i| i + 100);
+        assert_eq!(out, (100..125).collect::<Vec<_>>());
+        let serial = run_indexed(25, 1, |i| i + 100);
+        assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn merge_canonical_sorts_by_key() {
+        let shards = vec![
+            vec![(3u64, "c"), (5, "e")],
+            vec![(1, "a"), (4, "d")],
+            vec![(2, "b")],
+        ];
+        let merged = merge_canonical(shards);
+        assert_eq!(
+            merged,
+            vec![(1, "a"), (2, "b"), (3, "c"), (4, "d"), (5, "e")]
+        );
+    }
+
+    #[test]
+    fn env_threads_is_at_least_one() {
+        assert!(env_threads() >= 1);
+        assert!(available_threads() >= 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the canonical cross-shard merge.
+//!
+//! The round engine buffers cross-shard deliveries per round and merges
+//! them in `(round, sender, seq)` order. For the engine to be
+//! thread-count invariant this merge must be a pure function of the
+//! delivery *set*: no shard assignment, shard count, or within-shard
+//! interleaving may leak into the merged order.
+
+use proptest::prelude::*;
+use rvs_sim::pool::merge_canonical;
+use std::collections::BTreeSet;
+
+/// A delivery key as the engine uses it: round, sender, per-sender seq.
+type Key = (u32, u32, u32);
+
+/// Distinct delivery keys with a payload tied to the key, so reorderings
+/// are detectable in the merged payload sequence.
+fn keyed_deliveries() -> impl Strategy<Value = Vec<(Key, u64)>> {
+    proptest::collection::vec((0u32..8, 0u32..64, 0u32..4), 0..120).prop_map(|v| {
+        let set: BTreeSet<Key> = v.into_iter().collect();
+        set.into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, i as u64))
+            .collect()
+    })
+}
+
+/// Deal `items` into `shards` buckets according to `assign`, then rotate
+/// each bucket by `rot` to simulate an arbitrary within-shard completion
+/// order.
+fn shard(
+    items: &[(Key, u64)],
+    shards: usize,
+    assign: &[usize],
+    rot: usize,
+) -> Vec<Vec<(Key, u64)>> {
+    let mut out = vec![Vec::new(); shards];
+    for (i, item) in items.iter().enumerate() {
+        out[assign[i % assign.len()] % shards].push(*item);
+    }
+    for bucket in &mut out {
+        if !bucket.is_empty() {
+            let r = rot % bucket.len();
+            bucket.rotate_left(r);
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Merged order equals the globally key-sorted order, for every shard
+    /// count, assignment, and within-shard rotation.
+    #[test]
+    fn merge_is_independent_of_sharding(
+        items in keyed_deliveries(),
+        shards in 1usize..9,
+        assign in proptest::collection::vec(0usize..8, 1..32),
+        rot in 0usize..16,
+    ) {
+        let mut expect = items.clone();
+        expect.sort_by_key(|a| a.0);
+        let merged = merge_canonical(shard(&items, shards, &assign, rot));
+        prop_assert_eq!(merged, expect);
+    }
+
+    /// Two different shardings of the same delivery set merge identically
+    /// — the pairwise restatement of thread-count invariance.
+    #[test]
+    fn any_two_shardings_agree(
+        items in keyed_deliveries(),
+        a in (1usize..9, proptest::collection::vec(0usize..8, 1..32), 0usize..16),
+        b in (1usize..9, proptest::collection::vec(0usize..8, 1..32), 0usize..16),
+    ) {
+        let ma = merge_canonical(shard(&items, a.0, &a.1, a.2));
+        let mb = merge_canonical(shard(&items, b.0, &b.1, b.2));
+        prop_assert_eq!(ma, mb);
+    }
+
+    /// The merge neither drops nor invents deliveries.
+    #[test]
+    fn merge_is_a_permutation(
+        items in keyed_deliveries(),
+        shards in 1usize..9,
+        assign in proptest::collection::vec(0usize..8, 1..32),
+    ) {
+        let merged = merge_canonical(shard(&items, shards, &assign, 0));
+        let got: BTreeSet<_> = merged.into_iter().collect();
+        let want: BTreeSet<_> = items.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+/// Equal keys (duplicate deliveries surviving to the merge) keep shard
+/// order — ascending, because shards are dealt in ascending entity order —
+/// so even the degenerate case is deterministic.
+#[test]
+fn equal_keys_merge_in_shard_order() {
+    let k: Key = (1, 1, 0);
+    let shards = vec![vec![(k, 10u64)], vec![(k, 20u64)], vec![(k, 30u64)]];
+    let merged = merge_canonical(shards);
+    assert_eq!(merged, vec![(k, 10), (k, 20), (k, 30)]);
+}

@@ -434,6 +434,43 @@ mod tests {
     }
 
     #[test]
+    fn chunked_merge_is_shard_invariant() {
+        // The sharded round engine folds per-chunk counter deltas with
+        // merge_from in chunk order; field-wise saturating addition is
+        // associative + commutative, so any chunking of the same deltas
+        // must produce the same totals. This is the counter half of the
+        // thread-count-invariance proof.
+        let deltas: Vec<EncounterCounters> = (1..=12)
+            .map(|i| EncounterCounters {
+                attempted: i,
+                delivered: i / 2,
+                dropped_message_loss: i % 3,
+                ..Default::default()
+            })
+            .collect();
+        let fold = |chunk_size: usize| {
+            let mut total = EncounterCounters::default();
+            for chunk in deltas.chunks(chunk_size) {
+                let mut shard = EncounterCounters::default();
+                for d in chunk {
+                    shard.merge_from(d);
+                }
+                total.merge_from(&shard);
+            }
+            total
+        };
+        let serial = fold(1);
+        for chunk_size in [2, 3, 4, 5, 12] {
+            assert_eq!(
+                fold(chunk_size),
+                serial,
+                "chunk size {chunk_size} changed counter totals"
+            );
+        }
+        assert_eq!(serial.attempted, (1..=12).sum::<u64>());
+    }
+
+    #[test]
     fn json_roundtrip() {
         let a = sample_snapshot(9);
         let back = Snapshot::from_json(&a.to_json()).unwrap();

@@ -57,16 +57,19 @@ USAGE:
     rvs stats  [--seed N] [--traces N]
         dataset statistics over N traces (the paper's §VI summary)
     rvs run    [--seed N] [--peers N] [--hours N] [--t-mib X] [--loss X]
-               [--faults FILE] [--telemetry FILE|-]
+               [--faults FILE] [--threads N] [--telemetry FILE|-]
         full-stack Figure 6 scenario; prints the accuracy curve and the
         best-informed node's moderator board. --faults loads a JSON
         FaultSchedule (latency/jitter, loss, burst loss, duplication,
         partitions, crash-restarts, retry/backoff; see DESIGN.md §10)
         and routes every delivery through the fault-injection plane
     rvs attack [--seed N] [--peers N] [--core N] [--crowd N] [--hours N]
-               [--telemetry FILE|-]
+               [--threads N] [--telemetry FILE|-]
         Figure 8 flash-crowd scenario; prints the pollution curve
 
+    --threads N shards the simulation round engine across N worker
+    threads (0 = honour RVS_THREADS, the default). Results are
+    byte-identical for every N; see DESIGN.md §11.
     --telemetry dumps a JSON snapshot of the per-protocol counters (and
     wall-clock phase timings) to FILE, or to stdout when FILE is `-`.";
 
@@ -107,6 +110,17 @@ fn dump_telemetry(system: &System, flags: &BTreeMap<String, String>) -> Result<(
         println!("\ntelemetry snapshot written to {dest}");
     }
     Ok(())
+}
+
+/// Honour `--threads N`: shard the round engine across N workers. 0 (the
+/// default) keeps the RVS_THREADS-derived count the System booted with.
+/// Thread count never changes results — only wall-clock time — which is
+/// proven byte-for-byte by tests/parallel_differential.rs.
+fn apply_threads(system: &mut System, flags: &BTreeMap<String, String>) {
+    let threads: usize = get(flags, "threads", 0);
+    if threads > 0 {
+        system.set_threads(threads.min(64));
+    }
 }
 
 fn trace_cfg(flags: &BTreeMap<String, String>) -> TraceGenConfig {
@@ -187,6 +201,7 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
         None => FaultSchedule::default(),
     };
     let mut system = System::with_faults(trace, protocol, setup, seed, schedule);
+    apply_threads(&mut system, &flags);
     let mut series = TimeSeries::new("accuracy");
     system.run_until(
         SimTime::from_hours(hours),
@@ -234,6 +249,7 @@ fn cmd_attack(flags: &BTreeMap<String, String>) -> ExitCode {
         telemetry::set_enabled(true);
     }
     let mut system = System::new(trace, protocol, setup, seed);
+    apply_threads(&mut system, &flags);
     let mut series = TimeSeries::new(format!("crowd={crowd}/core={core}"));
     system.run_until(
         SimTime::from_hours(hours),

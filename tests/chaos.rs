@@ -129,6 +129,60 @@ fn acceptance_schedule_survives_all_seeds() {
     }
 }
 
+/// `chaos_run`, pinned to an explicit worker count.
+fn chaos_run_threads(
+    seed: u64,
+    hours: u64,
+    schedule: FaultSchedule,
+    threads: usize,
+) -> (System, f64) {
+    let trace = TraceGenConfig::quick(24, SimDuration::from_hours(hours)).generate(seed);
+    let (setup, m) = fig6_setup(&trace, 0.25, 0.25, seed);
+    let protocol = ProtocolConfig {
+        experience_t_mib: 1.0,
+        ..ProtocolConfig::default()
+    };
+    let mut system = System::with_faults(trace, protocol, setup, seed, schedule);
+    system.set_threads(threads);
+    system.enable_audit();
+    system.run_until(
+        SimTime::from_hours(hours),
+        SimDuration::from_hours(hours),
+        |_, _| {},
+    );
+    let acc = system.ordering_accuracy(&m);
+    (system, acc)
+}
+
+#[test]
+fn acceptance_schedule_is_thread_count_invariant() {
+    // The full acceptance fault soup — burst loss, jitter reordering,
+    // duplication, a partition, crash-restarts, retries — at 1 worker vs
+    // 4 workers: byte-identical telemetry, bit-identical accuracy.
+    let seed = SEEDS[0];
+    let (serial, acc_1) = chaos_run_threads(seed, 36, chaos_schedule(), 1);
+    let (sharded, acc_4) = chaos_run_threads(seed, 36, chaos_schedule(), 4);
+    assert_clean_audit(&serial);
+    assert_clean_audit(&sharded);
+    assert_eq!(
+        acc_1.to_bits(),
+        acc_4.to_bits(),
+        "accuracy diverged across thread counts"
+    );
+    assert_eq!(
+        serial
+            .telemetry_snapshot()
+            .counters_only()
+            .to_json_compact(),
+        sharded
+            .telemetry_snapshot()
+            .counters_only()
+            .to_json_compact(),
+        "telemetry diverged across thread counts under the acceptance schedule"
+    );
+    assert_eq!(serial.in_flight(), sharded.in_flight());
+}
+
 #[test]
 fn chaos_replays_byte_identical() {
     for seed in SEEDS {

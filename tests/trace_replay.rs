@@ -5,7 +5,7 @@ use robust_vote_sampling::scenario::experiments::vote_sampling::fig6_setup;
 use robust_vote_sampling::scenario::{ProtocolConfig, System};
 use rvs_bartercast::{BarterCast, BarterCastConfig};
 use rvs_bittorrent::{BitTorrentNet, NetConfig};
-use rvs_sim::{NodeId, SimDuration, SimTime};
+use rvs_sim::{DetRng, NodeId, SimDuration, SimTime};
 use rvs_trace::{TraceEventKind, TraceGenConfig};
 
 #[test]
@@ -141,7 +141,7 @@ fn offline_peers_never_transfer() {
 #[test]
 fn start_download_events_lead_to_membership() {
     let trace = TraceGenConfig::quick(14, SimDuration::from_hours(12)).generate(13);
-    let mut net = BitTorrentNet::new(&trace, NetConfig::default());
+    let mut net = BitTorrentNet::new(&trace, NetConfig::default(), &DetRng::new(13));
     let mut saw_download = false;
     for ev in &trace.events {
         net.apply_event(ev, ev.time);
