@@ -148,6 +148,36 @@ impl ContributionCache {
     }
 }
 
+/// Stable binary encoding: reconciled epoch, then the memoized entries.
+impl rvs_checkpoint::Persist for NodeCache {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.u64(self.seen_epoch);
+        self.entries.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(NodeCache {
+            seen_epoch: dec.u64()?,
+            entries: BTreeMap::restore(dec)?,
+        })
+    }
+}
+
+/// Stable binary encoding: one [`NodeCache`] per evaluator node, in node
+/// order. Persisted verbatim so cache hit/miss behaviour — and therefore the
+/// maxflow-evaluation counters — resumes byte-identically.
+impl rvs_checkpoint::Persist for ContributionCache {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.nodes.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(ContributionCache {
+            nodes: Vec::restore(dec)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -89,6 +89,30 @@ impl Default for AdaptiveThreshold {
     }
 }
 
+/// Stable binary encoding: the six `f64` fields in declaration order, each
+/// as IEEE bits.
+impl rvs_checkpoint::Persist for AdaptiveThreshold {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.f64(self.t_mib);
+        enc.f64(self.t_min_mib);
+        enc.f64(self.t_max_mib);
+        enc.f64(self.raise_mib);
+        enc.f64(self.decay_mib);
+        enc.f64(self.d_max);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(AdaptiveThreshold {
+            t_mib: dec.f64()?,
+            t_min_mib: dec.f64()?,
+            t_max_mib: dec.f64()?,
+            raise_mib: dec.f64()?,
+            decay_mib: dec.f64()?,
+            d_max: dec.f64()?,
+        })
+    }
+}
+
 impl AdaptiveThreshold {
     /// The paper's literal symmetric sketch ("the value of T is increased
     /// and vice versa") — kept for the ablation's comparison; oscillates

@@ -32,6 +32,21 @@ impl EdgeReports {
     }
 }
 
+/// Stable binary encoding: the two reported counters in declaration order.
+impl rvs_checkpoint::Persist for EdgeReports {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.u64(self.by_from);
+        enc.u64(self.by_to);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(EdgeReports {
+            by_from: dec.u64()?,
+            by_to: dec.u64()?,
+        })
+    }
+}
+
 /// One node's subjective view of the transfer network.
 ///
 /// The graph also carries a **mutation epoch**: a counter bumped every time
@@ -154,6 +169,25 @@ impl SubjectiveGraph {
         v.sort_unstable();
         v.dedup();
         v
+    }
+}
+
+/// Stable binary encoding: edge map, mutation epoch, then the bounded
+/// change log oldest-first. The bookkeeping is persisted verbatim so that
+/// contribution-cache invalidation resumes exactly where it left off.
+impl rvs_checkpoint::Persist for SubjectiveGraph {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.edges.persist(enc);
+        enc.u64(self.epoch);
+        self.changed.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(SubjectiveGraph {
+            edges: BTreeMap::restore(dec)?,
+            epoch: dec.u64()?,
+            changed: VecDeque::restore(dec)?,
+        })
     }
 }
 

@@ -51,6 +51,23 @@ impl BarterCastConfig {
     }
 }
 
+/// Stable binary encoding: the three tuning fields in declaration order.
+impl rvs_checkpoint::Persist for BarterCastConfig {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.usize(self.max_records_per_exchange);
+        enc.usize(self.max_hops);
+        enc.bool(self.cache_contributions);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(BarterCastConfig {
+            max_records_per_exchange: dec.usize()?,
+            max_hops: dec.usize()?,
+            cache_contributions: dec.bool()?,
+        })
+    }
+}
+
 /// One direct-transfer record: "`from` uploaded `kib` KiB to `to`", as
 /// reported by one of the endpoints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -286,6 +303,33 @@ impl BarterCast {
             }
         }
         violations
+    }
+}
+
+/// Stable binary encoding: config, per-node subjective graphs, the
+/// contribution cache (persisted verbatim so cache hit/miss behaviour
+/// resumes exactly), then the four counters in declaration order.
+impl rvs_checkpoint::Persist for BarterCast {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.cfg.persist(enc);
+        self.graphs.persist(enc);
+        self.cache.borrow().persist(enc);
+        self.exchanges.persist(enc);
+        self.maxflow_evaluations.persist(enc);
+        self.cache_hits.persist(enc);
+        self.cache_misses.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(BarterCast {
+            cfg: BarterCastConfig::restore(dec)?,
+            graphs: Vec::restore(dec)?,
+            cache: RefCell::new(ContributionCache::restore(dec)?),
+            exchanges: SharedCounter::restore(dec)?,
+            maxflow_evaluations: SharedCounter::restore(dec)?,
+            cache_hits: SharedCounter::restore(dec)?,
+            cache_misses: SharedCounter::restore(dec)?,
+        })
     }
 }
 

@@ -138,6 +138,46 @@ impl Bitfield {
     }
 }
 
+/// Stable binary encoding: words, piece count, set-bit count. Restore
+/// cross-validates word length, phantom bits, and the popcount so a corrupt
+/// bitfield is rejected instead of breaking availability accounting.
+impl rvs_checkpoint::Persist for Bitfield {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.words.persist(enc);
+        enc.u32(self.len);
+        enc.u32(self.count);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        let words: Vec<u64> = Vec::restore(dec)?;
+        let len = dec.u32()?;
+        let count = dec.u32()?;
+        if words.len() != (len as usize).div_ceil(64) {
+            return Err(rvs_checkpoint::DecodeError::Corrupt(format!(
+                "Bitfield word count {} inconsistent with length {len}",
+                words.len()
+            )));
+        }
+        let tail = len % 64;
+        if tail != 0 {
+            if let Some(&last) = words.last() {
+                if last & !((1u64 << tail) - 1) != 0 {
+                    return Err(rvs_checkpoint::DecodeError::Corrupt(
+                        "Bitfield has bits set beyond its length".to_string(),
+                    ));
+                }
+            }
+        }
+        let popcount: u32 = words.iter().map(|w| w.count_ones()).sum();
+        if popcount != count {
+            return Err(rvs_checkpoint::DecodeError::Corrupt(format!(
+                "Bitfield count {count} does not match popcount {popcount}"
+            )));
+        }
+        Ok(Bitfield { words, len, count })
+    }
+}
+
 impl fmt::Debug for Bitfield {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Bitfield({}/{})", self.count, self.len)

@@ -33,6 +33,21 @@ impl ChokePolicy {
     }
 }
 
+/// Stable binary encoding: the two slot counts in declaration order.
+impl rvs_checkpoint::Persist for ChokePolicy {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.usize(self.regular_slots);
+        enc.usize(self.optimistic_slots);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(ChokePolicy {
+            regular_slots: dec.usize()?,
+            optimistic_slots: dec.usize()?,
+        })
+    }
+}
+
 /// Outcome of a rechoke round.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChokeDecision {

@@ -122,6 +122,26 @@ impl TransferLedger {
     }
 }
 
+/// Stable binary encoding: forward map, reverse index, grand total — all
+/// three persisted (the reverse index is derivable but rebuilding it on
+/// restore would cost a full scan for no robustness gain; the differential
+/// tests cover their agreement).
+impl rvs_checkpoint::Persist for TransferLedger {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.kib.persist(enc);
+        self.incoming.persist(enc);
+        enc.u64(self.total_kib);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(TransferLedger {
+            kib: BTreeMap::restore(dec)?,
+            incoming: BTreeMap::restore(dec)?,
+            total_kib: dec.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -59,6 +59,21 @@ impl Default for NetConfig {
     }
 }
 
+/// Stable binary encoding: swarm tuning, then the tick length.
+impl rvs_checkpoint::Persist for NetConfig {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.swarm.persist(enc);
+        self.tick.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(NetConfig {
+            swarm: SwarmConfig::restore(dec)?,
+            tick: SimDuration::restore(dec)?,
+        })
+    }
+}
+
 /// One swarm plus everything its ticks touch: its RNG stream (keyed by
 /// swarm id) and the seed budgets of its altruists. Self-contained so a
 /// window of ticks can run as an isolated pool job.
@@ -68,6 +83,23 @@ struct SwarmRunner {
     rng: DetRng,
     /// Remaining online seeding budget per altruist member of this swarm.
     seed_budget: BTreeMap<NodeId, SimDuration>,
+}
+
+/// Stable binary encoding: swarm state, RNG stream, seed budgets.
+impl rvs_checkpoint::Persist for SwarmRunner {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.sim.persist(enc);
+        self.rng.persist(enc);
+        self.seed_budget.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(SwarmRunner {
+            sim: SwarmSim::restore(dec)?,
+            rng: DetRng::restore(dec)?,
+            seed_budget: BTreeMap::restore(dec)?,
+        })
+    }
 }
 
 fn link_of(profiles: &[PeerProfile], peer: NodeId) -> LinkProfile {
@@ -402,6 +434,31 @@ impl BitTorrentNet {
         }
         observer(&net, end);
         net
+    }
+}
+
+/// Stable binary encoding: config, peer profiles (the `Arc` is unshared on
+/// restore — profiles are immutable, so sharing is an optimization, not
+/// semantics), swarm runners, online flags, global ledger, completion log.
+impl rvs_checkpoint::Persist for BitTorrentNet {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.cfg.persist(enc);
+        self.profiles.as_ref().persist(enc);
+        self.swarms.persist(enc);
+        self.online.persist(enc);
+        self.ledger.persist(enc);
+        self.completions.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(BitTorrentNet {
+            cfg: NetConfig::restore(dec)?,
+            profiles: Arc::new(Vec::restore(dec)?),
+            swarms: Vec::restore(dec)?,
+            online: Vec::restore(dec)?,
+            ledger: TransferLedger::restore(dec)?,
+            completions: Vec::restore(dec)?,
+        })
     }
 }
 

@@ -26,6 +26,27 @@ pub enum MemberRole {
     Seeder,
 }
 
+/// Stable binary encoding: role as a `u8` discriminant
+/// (0 = Leecher, 1 = Seeder).
+impl rvs_checkpoint::Persist for MemberRole {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.u8(match self {
+            MemberRole::Leecher => 0,
+            MemberRole::Seeder => 1,
+        });
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        match dec.u8()? {
+            0 => Ok(MemberRole::Leecher),
+            1 => Ok(MemberRole::Seeder),
+            d => Err(rvs_checkpoint::DecodeError::Corrupt(format!(
+                "invalid MemberRole discriminant {d}"
+            ))),
+        }
+    }
+}
+
 /// Tuning knobs for the swarm simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwarmConfig {
@@ -47,6 +68,24 @@ impl Default for SwarmConfig {
     }
 }
 
+/// Stable binary encoding: choke policy, rechoke interval, optimistic
+/// rotation period.
+impl rvs_checkpoint::Persist for SwarmConfig {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.choke.persist(enc);
+        self.rechoke_interval.persist(enc);
+        enc.u32(self.optimistic_every);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(SwarmConfig {
+            choke: ChokePolicy::restore(dec)?,
+            rechoke_interval: SimDuration::restore(dec)?,
+            optimistic_every: dec.u32()?,
+        })
+    }
+}
+
 /// A download that finished during a tick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Completion {
@@ -56,6 +95,23 @@ pub struct Completion {
     pub swarm: SwarmId,
     /// Tick time at which completion was detected.
     pub time: SimTime,
+}
+
+/// Stable binary encoding: peer, swarm, detection time.
+impl rvs_checkpoint::Persist for Completion {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.peer.persist(enc);
+        self.swarm.persist(enc);
+        self.time.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(Completion {
+            peer: NodeId::restore(dec)?,
+            swarm: SwarmId::restore(dec)?,
+            time: SimTime::restore(dec)?,
+        })
+    }
 }
 
 /// Link capacities and reachability of a member, supplied at join time.
@@ -90,6 +146,55 @@ struct Member {
 impl Member {
     fn requested_pieces(&self) -> BTreeSet<u32> {
         self.in_flight.values().map(|&(p, _)| p).collect()
+    }
+}
+
+/// Stable binary encoding: connectable flag, uplink, downlink.
+impl rvs_checkpoint::Persist for LinkProfile {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.bool(self.connectable);
+        enc.u32(self.uplink_kibps);
+        enc.u32(self.downlink_kibps);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(LinkProfile {
+            connectable: dec.bool()?,
+            uplink_kibps: dec.u32()?,
+            downlink_kibps: dec.u32()?,
+        })
+    }
+}
+
+/// Stable binary encoding: the ten member fields in declaration order;
+/// in-flight KiB remainders and uncredited fractions as IEEE bits.
+impl rvs_checkpoint::Persist for Member {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.bitfield.persist(enc);
+        self.role.persist(enc);
+        enc.bool(self.online);
+        self.link.persist(enc);
+        self.unchoked.persist(enc);
+        self.optimistic.persist(enc);
+        enc.u32(self.rechokes);
+        self.in_flight.persist(enc);
+        self.window_recv.persist(enc);
+        self.uncredited.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(Member {
+            bitfield: Bitfield::restore(dec)?,
+            role: MemberRole::restore(dec)?,
+            online: dec.bool()?,
+            link: LinkProfile::restore(dec)?,
+            unchoked: Vec::restore(dec)?,
+            optimistic: Option::restore(dec)?,
+            rechokes: dec.u32()?,
+            in_flight: BTreeMap::restore(dec)?,
+            window_recv: BTreeMap::restore(dec)?,
+            uncredited: BTreeMap::restore(dec)?,
+        })
     }
 }
 
@@ -400,6 +505,28 @@ impl SwarmSim {
             }
         }
         completions
+    }
+}
+
+/// Stable binary encoding: spec, config, members, availability counters,
+/// next rechoke time.
+impl rvs_checkpoint::Persist for SwarmSim {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.spec.persist(enc);
+        self.cfg.persist(enc);
+        self.members.persist(enc);
+        self.availability.persist(enc);
+        self.next_rechoke.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(SwarmSim {
+            spec: rvs_trace::SwarmSpec::restore(dec)?,
+            cfg: SwarmConfig::restore(dec)?,
+            members: BTreeMap::restore(dec)?,
+            availability: Availability::restore(dec)?,
+            next_rechoke: SimTime::restore(dec)?,
+        })
     }
 }
 

@@ -1,0 +1,681 @@
+//! Versioned binary checkpoint encoding for the robust-vote-sampling
+//! workspace.
+//!
+//! Long chaos and experiment runs (and the ROADMAP's production-scale
+//! ambitions) need to survive process restarts: run to round R, write a
+//! checkpoint, and later resume **byte-identically** to a run that never
+//! stopped. That bar rules out `derive`-based serialization — a reordered
+//! field or a silently-skipped member would still compile — so persistence
+//! here is explicit:
+//!
+//! * [`Persist`] — a trait each stateful type implements by hand, writing
+//!   every field in a fixed, documented order and reading it back the same
+//!   way. Implementations live *in the owning crate*, next to the private
+//!   fields they serialize, so a field added without a matching `persist`
+//!   line is caught by the roundtrip property tests rather than by luck.
+//! * [`Encoder`] / [`Decoder`] — little-endian primitive codecs with
+//!   length-prefixed collections, `f64::to_bits` floats (bit-exact, no
+//!   text roundtrip), and section [tags](Encoder::tag) that turn a
+//!   misaligned decode into a diagnosable [`DecodeError::Corrupt`] instead
+//!   of garbage state.
+//! * [`DecodeError`] — decoding adversarial or damaged bytes must *never*
+//!   panic (this crate is covered by rvs-lint's panic-surface rule); every
+//!   failure mode is a typed error.
+//!
+//! The file-level container is [`write_header`] / [`read_header`]: a magic
+//! number plus [`FORMAT_VERSION`]. Any change to any `Persist`
+//! implementation's field order or meaning MUST bump [`FORMAT_VERSION`]
+//! and document the bump in DESIGN.md §12 (a CI cross-check enforces the
+//! documentation half).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Current checkpoint format version. Bump on ANY encoding change and
+/// document the new layout in DESIGN.md §12.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Magic bytes opening every checkpoint file.
+pub const MAGIC: [u8; 8] = *b"RVSCKPT\0";
+
+/// A typed decoding failure. Decoding never panics: damaged, truncated,
+/// or version-skewed input always surfaces as one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before a value could be read in full.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// The bytes decoded but violate the format (bad magic, bad section
+    /// tag, out-of-range discriminant, impossible length, ...).
+    Corrupt(String),
+    /// The checkpoint was written by a different format version.
+    WrongVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// Decoding finished but unread bytes remain — the payload is from a
+    /// richer (or misframed) encoding.
+    TrailingBytes {
+        /// Number of unread bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, remaining } => write!(
+                f,
+                "checkpoint truncated: needed {needed} bytes, {remaining} remaining"
+            ),
+            DecodeError::Corrupt(msg) => write!(f, "checkpoint corrupt: {msg}"),
+            DecodeError::WrongVersion { found, supported } => write!(
+                f,
+                "checkpoint format version {found} not supported (this build reads version \
+                 {supported}); regenerate with `rvs ckpt regen` or use a matching build"
+            ),
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "checkpoint has {remaining} trailing bytes after decode")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Stable, versioned binary persistence with explicit field order.
+///
+/// Contract (checked by the workspace roundtrip property tests):
+/// `restore(persist(x)) == x` and re-encoding the restored value yields
+/// byte-identical output. `restore` must never panic on arbitrary input.
+pub trait Persist: Sized {
+    /// Append this value's canonical encoding to `enc`.
+    fn persist(&self, enc: &mut Encoder);
+    /// Read one value back, consuming exactly the bytes `persist` wrote.
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError>;
+}
+
+/// Appends little-endian primitives and [`Persist`] values to a byte
+/// buffer.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the encoder, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a `u64` (platform-independent width).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Append an `f64` as its exact IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Append a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Append raw bytes with no length prefix (caller frames them).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.raw(s.as_bytes());
+    }
+
+    /// Append a short section tag marking the start of a named region.
+    /// [`Decoder::tag`] verifies it, turning any framing drift into a
+    /// [`DecodeError::Corrupt`] naming the expected section.
+    pub fn tag(&mut self, name: &str) {
+        debug_assert!(name.len() <= u8::MAX as usize, "section tag too long");
+        self.u8(name.len() as u8);
+        self.raw(name.as_bytes());
+    }
+
+    /// Append any [`Persist`] value.
+    pub fn put<T: Persist>(&mut self, v: &T) {
+        v.persist(self);
+    }
+}
+
+/// Reads values back out of a byte slice, tracking position and surfacing
+/// every failure as a [`DecodeError`].
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consume `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Read a `usize` (stored as `u64`), rejecting values that cannot fit.
+    pub fn usize(&mut self) -> Result<usize, DecodeError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| DecodeError::Corrupt(format!("usize {v} overflows")))
+    }
+
+    /// Read an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a bool, rejecting any byte other than 0 or 1.
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(DecodeError::Corrupt(format!("bool byte {other}"))),
+        }
+    }
+
+    /// Read a collection length, rejecting lengths that exceed the bytes
+    /// remaining (every element costs at least one byte, so a larger claim
+    /// is either corruption or a denial-of-service attempt).
+    pub fn seq_len(&mut self) -> Result<usize, DecodeError> {
+        let len = self.usize()?;
+        if len > self.remaining() {
+            return Err(DecodeError::Truncated {
+                needed: len,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.seq_len()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| DecodeError::Corrupt("invalid UTF-8 in string".to_string()))
+    }
+
+    /// Verify a section tag written by [`Encoder::tag`].
+    pub fn tag(&mut self, expected: &str) -> Result<(), DecodeError> {
+        let len = self.u8()? as usize;
+        let bytes = self.take(len)?;
+        if bytes != expected.as_bytes() {
+            let found = String::from_utf8_lossy(bytes).into_owned();
+            return Err(DecodeError::Corrupt(format!(
+                "expected section `{expected}`, found `{found}`"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Read any [`Persist`] value.
+    pub fn get<T: Persist>(&mut self) -> Result<T, DecodeError> {
+        T::restore(self)
+    }
+
+    /// Assert the input is fully consumed.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes {
+                remaining: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Write the checkpoint file header: magic bytes plus [`FORMAT_VERSION`].
+pub fn write_header(enc: &mut Encoder) {
+    enc.raw(&MAGIC);
+    enc.u32(FORMAT_VERSION);
+}
+
+/// Read and validate the checkpoint file header, returning the version
+/// (always [`FORMAT_VERSION`] on success).
+pub fn read_header(dec: &mut Decoder<'_>) -> Result<u32, DecodeError> {
+    let magic = dec.take(MAGIC.len())?;
+    if magic != MAGIC {
+        return Err(DecodeError::Corrupt("bad magic bytes".to_string()));
+    }
+    let version = dec.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(DecodeError::WrongVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    Ok(version)
+}
+
+/// Peek a checkpoint header's version without requiring it to match
+/// [`FORMAT_VERSION`] (for `rvs ckpt inspect` on foreign files).
+pub fn peek_version(bytes: &[u8]) -> Result<u32, DecodeError> {
+    let mut dec = Decoder::new(bytes);
+    let magic = dec.take(MAGIC.len())?;
+    if magic != MAGIC {
+        return Err(DecodeError::Corrupt("bad magic bytes".to_string()));
+    }
+    dec.u32()
+}
+
+// ---------------------------------------------------------------------------
+// Persist implementations for primitives and std containers
+// ---------------------------------------------------------------------------
+
+macro_rules! persist_prim {
+    ($t:ty, $put:ident, $get:ident) => {
+        impl Persist for $t {
+            fn persist(&self, enc: &mut Encoder) {
+                enc.$put(*self);
+            }
+            fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+                dec.$get()
+            }
+        }
+    };
+}
+
+persist_prim!(u8, u8, u8);
+persist_prim!(u32, u32, u32);
+persist_prim!(u64, u64, u64);
+persist_prim!(usize, usize, usize);
+persist_prim!(bool, bool, bool);
+persist_prim!(f64, f64, f64);
+
+impl Persist for String {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.str(self);
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.str()
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn persist(&self, enc: &mut Encoder) {
+        self.0.persist(enc);
+        self.1.persist(enc);
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok((A::restore(dec)?, B::restore(dec)?))
+    }
+}
+
+impl<A: Persist, B: Persist, C: Persist> Persist for (A, B, C) {
+    fn persist(&self, enc: &mut Encoder) {
+        self.0.persist(enc);
+        self.1.persist(enc);
+        self.2.persist(enc);
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok((A::restore(dec)?, B::restore(dec)?, C::restore(dec)?))
+    }
+}
+
+impl<T: Persist> Persist for Option<T> {
+    fn persist(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.u8(0),
+            Some(v) => {
+                enc.u8(1);
+                v.persist(enc);
+            }
+        }
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::restore(dec)?)),
+            other => Err(DecodeError::Corrupt(format!("Option discriminant {other}"))),
+        }
+    }
+}
+
+impl<T: Persist, const N: usize> Persist for [T; N] {
+    fn persist(&self, enc: &mut Encoder) {
+        for v in self {
+            v.persist(enc);
+        }
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let mut items = Vec::with_capacity(N);
+        for _ in 0..N {
+            items.push(T::restore(dec)?);
+        }
+        items
+            .try_into()
+            .map_err(|_| DecodeError::Corrupt("array length".to_string()))
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.usize(self.len());
+        for v in self {
+            v.persist(enc);
+        }
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = dec.seq_len()?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::restore(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Persist> Persist for VecDeque<T> {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.usize(self.len());
+        // Front-to-back: insertion order is semantic for bounded caches.
+        for v in self {
+            v.persist(enc);
+        }
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = dec.seq_len()?;
+        let mut out = VecDeque::with_capacity(len);
+        for _ in 0..len {
+            out.push_back(T::restore(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Persist + Ord, V: Persist> Persist for BTreeMap<K, V> {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.usize(self.len());
+        // BTreeMap iterates in ascending key order: canonical by nature.
+        for (k, v) in self {
+            k.persist(enc);
+            v.persist(enc);
+        }
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = dec.seq_len()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::restore(dec)?;
+            let v = V::restore(dec)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Persist + Ord> Persist for BTreeSet<T> {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.usize(self.len());
+        for v in self {
+            v.persist(enc);
+        }
+    }
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = dec.seq_len()?;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::restore(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Encode `value` as a standalone byte vector (no file header).
+pub fn to_bytes<T: Persist>(value: &T) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    value.persist(&mut enc);
+    enc.into_bytes()
+}
+
+/// Decode a standalone value written by [`to_bytes`], requiring the input
+/// to be consumed exactly.
+pub fn from_bytes<T: Persist>(bytes: &[u8]) -> Result<T, DecodeError> {
+    let mut dec = Decoder::new(bytes);
+    let v = T::restore(&mut dec)?;
+    dec.finish()?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Persist + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = to_bytes(v);
+        let back: T = from_bytes(&bytes).expect("roundtrip decode");
+        assert_eq!(&back, v);
+        assert_eq!(to_bytes(&back), bytes, "re-encode must be byte-identical");
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(&0u8);
+        roundtrip(&u8::MAX);
+        roundtrip(&0xDEAD_BEEFu32);
+        roundtrip(&u64::MAX);
+        roundtrip(&usize::MAX);
+        roundtrip(&true);
+        roundtrip(&false);
+        roundtrip(&1.5f64);
+        roundtrip(&f64::NEG_INFINITY);
+        roundtrip(&-0.0f64);
+        roundtrip(&"héllo".to_string());
+        roundtrip(&String::new());
+    }
+
+    #[test]
+    fn nan_bit_pattern_survives() {
+        let v = f64::from_bits(0x7FF8_0000_0000_1234);
+        let bytes = to_bytes(&v);
+        let back: f64 = from_bytes(&bytes).expect("decode");
+        assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(&vec![1u64, 2, 3]);
+        roundtrip(&Vec::<u64>::new());
+        roundtrip(&Some(7u32));
+        roundtrip(&Option::<u32>::None);
+        roundtrip(&(1u32, "x".to_string()));
+        roundtrip(&(1u32, 2u64, false));
+        roundtrip(&[1u64, 2, 3, 4]);
+        let map: BTreeMap<u32, String> = [(1, "a".into()), (9, "b".into())].into();
+        roundtrip(&map);
+        let set: BTreeSet<u64> = [3, 1, 4].into();
+        roundtrip(&set);
+        let dq: VecDeque<u32> = [5, 6, 7].into_iter().collect();
+        roundtrip(&dq);
+    }
+
+    #[test]
+    fn every_truncation_errors_not_panics() {
+        let mut enc = Encoder::new();
+        write_header(&mut enc);
+        enc.tag("demo");
+        enc.put(&vec![(1u64, "abc".to_string()), (2, "def".to_string())]);
+        let bytes = enc.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut dec = Decoder::new(&bytes[..cut]);
+            let result = read_header(&mut dec)
+                .and_then(|_| dec.tag("demo"))
+                .and_then(|()| Vec::<(u64, String)>::restore(&mut dec));
+            assert!(result.is_err(), "prefix of {cut} bytes decoded cleanly");
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_typed() {
+        let mut enc = Encoder::new();
+        enc.raw(&MAGIC);
+        enc.u32(FORMAT_VERSION + 41);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(
+            read_header(&mut dec),
+            Err(DecodeError::WrongVersion {
+                found: FORMAT_VERSION + 41,
+                supported: FORMAT_VERSION,
+            })
+        );
+        assert_eq!(peek_version(&bytes), Ok(FORMAT_VERSION + 41));
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt() {
+        let bytes = b"NOTCKPT\0\x01\0\0\0".to_vec();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(
+            read_header(&mut dec),
+            Err(DecodeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut bytes = to_bytes(&42u64);
+        bytes.push(0);
+        assert_eq!(
+            from_bytes::<u64>(&bytes),
+            Err(DecodeError::TrailingBytes { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn hostile_length_rejected_without_allocation() {
+        // Claims 2^60 elements with 0 bytes of backing data.
+        let mut enc = Encoder::new();
+        enc.u64(1 << 60);
+        let bytes = enc.into_bytes();
+        assert!(matches!(
+            from_bytes::<Vec<u64>>(&bytes),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn tag_mismatch_names_sections() {
+        let mut enc = Encoder::new();
+        enc.tag("net");
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let err = dec.tag("pss").expect_err("tag mismatch");
+        assert!(matches!(&err, DecodeError::Corrupt(m) if m.contains("pss") && m.contains("net")));
+    }
+
+    #[test]
+    fn invalid_discriminants_are_corrupt() {
+        assert!(matches!(
+            from_bytes::<bool>(&[2]),
+            Err(DecodeError::Corrupt(_))
+        ));
+        assert!(matches!(
+            from_bytes::<Option<u8>>(&[9, 0]),
+            Err(DecodeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn decode_errors_render() {
+        for e in [
+            DecodeError::Truncated {
+                needed: 8,
+                remaining: 3,
+            },
+            DecodeError::Corrupt("x".into()),
+            DecodeError::WrongVersion {
+                found: 2,
+                supported: 1,
+            },
+            DecodeError::TrailingBytes { remaining: 5 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -171,6 +171,31 @@ impl BallotBox {
     }
 }
 
+/// Stable binary encoding: `B_max`, entries, last-heard map. Restore
+/// rejects a zero `B_max` as corrupt rather than tripping the constructor
+/// assertion.
+impl rvs_checkpoint::Persist for BallotBox {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.usize(self.b_max);
+        self.entries.persist(enc);
+        self.last_heard.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        let b_max = dec.usize()?;
+        if b_max == 0 {
+            return Err(rvs_checkpoint::DecodeError::Corrupt(
+                "BallotBox B_max must be positive".to_string(),
+            ));
+        }
+        Ok(BallotBox {
+            b_max,
+            entries: BTreeMap::restore(dec)?,
+            last_heard: BTreeMap::restore(dec)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

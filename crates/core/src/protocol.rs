@@ -280,6 +280,53 @@ impl VoteSampling {
     }
 }
 
+/// Stable binary encoding: fields in declaration order.
+impl rvs_checkpoint::Persist for VoteSamplingConfig {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.usize(self.b_min);
+        enc.usize(self.b_max);
+        enc.usize(self.v_max);
+        enc.usize(self.k);
+        enc.usize(self.max_votes_per_msg);
+        self.policy.persist(enc);
+        enc.bool(self.revalidate);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(VoteSamplingConfig {
+            b_min: dec.usize()?,
+            b_max: dec.usize()?,
+            v_max: dec.usize()?,
+            k: dec.usize()?,
+            max_votes_per_msg: dec.usize()?,
+            policy: VoteListPolicy::restore(dec)?,
+            revalidate: dec.bool()?,
+        })
+    }
+}
+
+/// Stable binary encoding: config, per-node ballots, per-node VoxPopuli
+/// caches, then both counter blocks.
+impl rvs_checkpoint::Persist for VoteSampling {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.cfg.persist(enc);
+        self.ballots.persist(enc);
+        self.vox.persist(enc);
+        self.counters.persist(enc);
+        self.vox_counters.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(VoteSampling {
+            cfg: VoteSamplingConfig::restore(dec)?,
+            ballots: Vec::restore(dec)?,
+            vox: Vec::restore(dec)?,
+            counters: VoteCounters::restore(dec)?,
+            vox_counters: VoxPopuliCounters::restore(dec)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -56,6 +56,19 @@ impl TopKList {
     }
 }
 
+/// Stable binary encoding: the ranked moderator list, best first.
+impl rvs_checkpoint::Persist for TopKList {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.ranked.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(TopKList {
+            ranked: Vec::restore(dec)?,
+        })
+    }
+}
+
 /// Score and rank the moderators sampled in `ballot`, truncated to `k`.
 ///
 /// Score = positives − negatives (simple summation). Ties break first by

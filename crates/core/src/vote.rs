@@ -85,6 +85,66 @@ pub fn select_votes(
     }
 }
 
+/// Stable binary encoding: a `u8` discriminant (0 = Positive, 1 = Negative).
+impl rvs_checkpoint::Persist for Vote {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.u8(match self {
+            Vote::Positive => 0,
+            Vote::Negative => 1,
+        });
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        match dec.u8()? {
+            0 => Ok(Vote::Positive),
+            1 => Ok(Vote::Negative),
+            d => Err(rvs_checkpoint::DecodeError::Corrupt(format!(
+                "invalid Vote discriminant {d}"
+            ))),
+        }
+    }
+}
+
+/// Stable binary encoding: moderator, vote, timestamp.
+impl rvs_checkpoint::Persist for VoteEntry {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.moderator.persist(enc);
+        self.vote.persist(enc);
+        self.made_at.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(VoteEntry {
+            moderator: ModeratorId::restore(dec)?,
+            vote: Vote::restore(dec)?,
+            made_at: SimTime::restore(dec)?,
+        })
+    }
+}
+
+/// Stable binary encoding: a `u8` discriminant (0 = Recency, 1 = Random,
+/// 2 = RecencyAndRandom).
+impl rvs_checkpoint::Persist for VoteListPolicy {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.u8(match self {
+            VoteListPolicy::Recency => 0,
+            VoteListPolicy::Random => 1,
+            VoteListPolicy::RecencyAndRandom => 2,
+        });
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        match dec.u8()? {
+            0 => Ok(VoteListPolicy::Recency),
+            1 => Ok(VoteListPolicy::Random),
+            2 => Ok(VoteListPolicy::RecencyAndRandom),
+            d => Err(rvs_checkpoint::DecodeError::Corrupt(format!(
+                "invalid VoteListPolicy discriminant {d}"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

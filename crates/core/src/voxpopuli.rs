@@ -160,6 +160,32 @@ impl VoxCache {
     }
 }
 
+/// Stable binary encoding: `V_max`, `K`, cached lists oldest-first.
+/// Restore rejects zero bounds as corrupt rather than tripping the
+/// constructor assertions.
+impl rvs_checkpoint::Persist for VoxCache {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.usize(self.v_max);
+        enc.usize(self.k);
+        self.lists.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        let v_max = dec.usize()?;
+        let k = dec.usize()?;
+        if v_max == 0 || k == 0 {
+            return Err(rvs_checkpoint::DecodeError::Corrupt(
+                "VoxCache V_max and K must be positive".to_string(),
+            ));
+        }
+        Ok(VoxCache {
+            v_max,
+            k,
+            lists: VecDeque::restore(dec)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -282,6 +282,63 @@ impl FaultPlane {
     }
 }
 
+/// Stable binary encoding: lane RNG state then the Gilbert–Elliott channel
+/// state bit.
+impl rvs_checkpoint::Persist for FaultLane {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.rng.persist(enc);
+        enc.bool(self.burst_bad);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(FaultLane {
+            rng: DetRng::restore(dec)?,
+            burst_bad: dec.bool()?,
+        })
+    }
+}
+
+/// Stable binary encoding: member set then the active flag.
+impl rvs_checkpoint::Persist for Partition {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.members.persist(enc);
+        enc.bool(self.active);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(Partition {
+            members: BTreeSet::restore(dec)?,
+            active: dec.bool()?,
+        })
+    }
+}
+
+/// Stable binary encoding: config, lane-base RNG, lanes, partitions,
+/// counters. The [`PartitionView`] is volatile by design — it is a pure
+/// projection of the partitions, rebuilt on restore.
+impl rvs_checkpoint::Persist for FaultPlane {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.cfg.persist(enc);
+        self.lane_base.persist(enc);
+        self.lanes.persist(enc);
+        self.partitions.persist(enc);
+        self.counters.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        let mut plane = FaultPlane {
+            cfg: FaultConfig::restore(dec)?,
+            lane_base: DetRng::restore(dec)?,
+            lanes: Vec::restore(dec)?,
+            partitions: Vec::restore(dec)?,
+            view: PartitionView::default(),
+            counters: FaultCounters::restore(dec)?,
+        };
+        plane.rebuild_view();
+        Ok(plane)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,6 +20,7 @@ pub const PROTOCOL_CRATES: &[&str] = &[
     "sim",
     "bittorrent",
     "faults",
+    "checkpoint",
 ];
 
 /// Which part of the workspace a rule applies to.

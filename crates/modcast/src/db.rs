@@ -24,6 +24,27 @@ pub enum LocalVote {
     Disapprove,
 }
 
+/// Stable binary encoding: vote as a `u8` discriminant
+/// (0 = Approve, 1 = Disapprove).
+impl rvs_checkpoint::Persist for LocalVote {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.u8(match self {
+            LocalVote::Approve => 0,
+            LocalVote::Disapprove => 1,
+        });
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        match dec.u8()? {
+            0 => Ok(LocalVote::Approve),
+            1 => Ok(LocalVote::Disapprove),
+            d => Err(rvs_checkpoint::DecodeError::Corrupt(format!(
+                "invalid LocalVote discriminant {d}"
+            ))),
+        }
+    }
+}
+
 /// Selection policy for `Extract()`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExtractPolicy {
@@ -33,6 +54,29 @@ pub enum ExtractPolicy {
     Random,
     /// Half newest, half random from the rest (the deployed hybrid).
     RecencyAndRandom,
+}
+
+/// Stable binary encoding: policy as a `u8` discriminant
+/// (0 = Recency, 1 = Random, 2 = RecencyAndRandom).
+impl rvs_checkpoint::Persist for ExtractPolicy {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.u8(match self {
+            ExtractPolicy::Recency => 0,
+            ExtractPolicy::Random => 1,
+            ExtractPolicy::RecencyAndRandom => 2,
+        });
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        match dec.u8()? {
+            0 => Ok(ExtractPolicy::Recency),
+            1 => Ok(ExtractPolicy::Random),
+            2 => Ok(ExtractPolicy::RecencyAndRandom),
+            d => Err(rvs_checkpoint::DecodeError::Corrupt(format!(
+                "invalid ExtractPolicy discriminant {d}"
+            ))),
+        }
+    }
 }
 
 /// Why (or whether) [`LocalDb::insert`] stored an item. Telemetry needs to
@@ -246,6 +290,34 @@ impl LocalDb {
             }
         }
         eligible.into_iter().map(|(m, _)| *m).collect()
+    }
+}
+
+/// Stable binary encoding: owner, capacity, stored items, then the local
+/// user's opinions. Restore rejects a zero capacity as corrupt rather than
+/// tripping the constructor assertion.
+impl rvs_checkpoint::Persist for LocalDb {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.owner.persist(enc);
+        enc.usize(self.capacity);
+        self.items.persist(enc);
+        self.opinions.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        let owner = NodeId::restore(dec)?;
+        let capacity = dec.usize()?;
+        if capacity == 0 {
+            return Err(rvs_checkpoint::DecodeError::Corrupt(
+                "LocalDb capacity must be positive".to_string(),
+            ));
+        }
+        Ok(LocalDb {
+            owner,
+            capacity,
+            items: BTreeMap::restore(dec)?,
+            opinions: BTreeMap::restore(dec)?,
+        })
     }
 }
 

@@ -15,6 +15,27 @@ pub enum ContentQuality {
     Spam,
 }
 
+/// Stable binary encoding: quality as a `u8` discriminant
+/// (0 = Genuine, 1 = Spam).
+impl rvs_checkpoint::Persist for ContentQuality {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.u8(match self {
+            ContentQuality::Genuine => 0,
+            ContentQuality::Spam => 1,
+        });
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        match dec.u8()? {
+            0 => Ok(ContentQuality::Genuine),
+            1 => Ok(ContentQuality::Spam),
+            d => Err(rvs_checkpoint::DecodeError::Corrupt(format!(
+                "invalid ContentQuality discriminant {d}"
+            ))),
+        }
+    }
+}
+
 /// Identity of a moderation: `(moderator, seq)` — each moderator numbers
 /// its items sequentially.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -23,6 +44,21 @@ pub struct ModerationId {
     pub moderator: ModeratorId,
     /// Per-moderator sequence number.
     pub seq: u32,
+}
+
+/// Stable binary encoding: moderator, then the sequence number.
+impl rvs_checkpoint::Persist for ModerationId {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.moderator.persist(enc);
+        enc.u32(self.seq);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(ModerationId {
+            moderator: ModeratorId::restore(dec)?,
+            seq: dec.u32()?,
+        })
+    }
 }
 
 /// A signed metadata item describing one swarm's content.
@@ -89,6 +125,30 @@ impl Moderation {
             moderator: self.moderator,
             seq: self.seq,
         }
+    }
+}
+
+/// Stable binary encoding: the six fields in declaration order, signature
+/// included verbatim (re-signing on restore would require the registry).
+impl rvs_checkpoint::Persist for Moderation {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.moderator.persist(enc);
+        enc.u32(self.seq);
+        self.swarm.persist(enc);
+        self.created.persist(enc);
+        self.quality.persist(enc);
+        self.sig.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(Moderation {
+            moderator: ModeratorId::restore(dec)?,
+            seq: dec.u32()?,
+            swarm: SwarmId::restore(dec)?,
+            created: SimTime::restore(dec)?,
+            quality: ContentQuality::restore(dec)?,
+            sig: Signature::restore(dec)?,
+        })
     }
 }
 

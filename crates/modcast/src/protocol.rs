@@ -34,6 +34,23 @@ impl Default for ModerationCastConfig {
     }
 }
 
+/// Stable binary encoding: the three tuning fields in declaration order.
+impl rvs_checkpoint::Persist for ModerationCastConfig {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.usize(self.db_capacity);
+        enc.usize(self.max_list);
+        self.policy.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(ModerationCastConfig {
+            db_capacity: dec.usize()?,
+            max_list: dec.usize()?,
+            policy: ExtractPolicy::restore(dec)?,
+        })
+    }
+}
+
 /// Network-wide ModerationCast state: one `local_db` per node.
 #[derive(Debug, Clone)]
 pub struct ModerationCast {
@@ -138,6 +155,26 @@ impl ModerationCast {
             .iter()
             .filter(|db| db.known_moderators().contains(&moderator))
             .count()
+    }
+}
+
+/// Stable binary encoding: config, per-node databases, per-moderator
+/// sequence counters, then the dissemination counters.
+impl rvs_checkpoint::Persist for ModerationCast {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.cfg.persist(enc);
+        self.dbs.persist(enc);
+        self.next_seq.persist(enc);
+        self.counters.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(ModerationCast {
+            cfg: ModerationCastConfig::restore(dec)?,
+            dbs: Vec::restore(dec)?,
+            next_seq: Vec::restore(dec)?,
+            counters: ModerationCounters::restore(dec)?,
+        })
     }
 }
 

@@ -22,6 +22,17 @@ use serde::{Deserialize, Serialize};
 #[serde(transparent)]
 pub struct Signature(pub u64);
 
+/// Stable binary encoding: the raw signature word.
+impl rvs_checkpoint::Persist for Signature {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.u64(self.0);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(Signature(dec.u64()?))
+    }
+}
+
 /// 64-bit message digest over arbitrary fields (SplitMix-style mixing).
 pub fn digest(fields: &[u64]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;

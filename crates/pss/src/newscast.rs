@@ -212,6 +212,44 @@ impl PeerSampler for NewscastPss {
     }
 }
 
+/// Stable binary encoding: peer then heartbeat.
+impl rvs_checkpoint::Persist for Entry {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.peer.persist(enc);
+        self.heartbeat.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(Entry {
+            peer: NodeId::restore(dec)?,
+            heartbeat: SimTime::restore(dec)?,
+        })
+    }
+}
+
+/// Stable binary encoding: view size, per-node views in their exact
+/// in-memory entry order (order feeds partner-selection draws), online
+/// flags, counters.
+impl rvs_checkpoint::Persist for NewscastPss {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.usize(self.cfg.view_size);
+        self.views.persist(enc);
+        self.online.persist(enc);
+        self.counters.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(NewscastPss {
+            cfg: NewscastConfig {
+                view_size: dec.usize()?,
+            },
+            views: Vec::restore(dec)?,
+            online: Vec::restore(dec)?,
+            counters: PssCounters::restore(dec)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

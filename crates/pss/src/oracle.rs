@@ -103,6 +103,60 @@ impl PeerSampler for OraclePss {
     }
 }
 
+/// Stable binary encoding: the dense position vector, then the online list
+/// in its exact swap-remove order (the order feeds sampling draws, so it
+/// must survive verbatim). Restore cross-checks the two against each other
+/// — an inconsistent pair would make later churn updates index out of
+/// bounds, so it is rejected as corrupt instead.
+impl rvs_checkpoint::Persist for OraclePss {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.usize(self.position.len());
+        for slot in &self.position {
+            match slot {
+                None => enc.u8(0),
+                Some(pos) => {
+                    enc.u8(1);
+                    enc.u32(*pos);
+                }
+            }
+        }
+        self.online.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        let n = dec.seq_len()?;
+        let mut position = Vec::with_capacity(n);
+        for _ in 0..n {
+            position.push(match dec.u8()? {
+                0 => None,
+                1 => Some(dec.u32()?),
+                d => {
+                    return Err(rvs_checkpoint::DecodeError::Corrupt(format!(
+                        "invalid OraclePss position discriminant {d}"
+                    )))
+                }
+            });
+        }
+        let online: Vec<NodeId> = Vec::restore(dec)?;
+        let occupied = position.iter().filter(|p| p.is_some()).count();
+        if occupied != online.len() {
+            return Err(rvs_checkpoint::DecodeError::Corrupt(format!(
+                "OraclePss occupancy mismatch: {} positions vs {} online",
+                occupied,
+                online.len()
+            )));
+        }
+        for (pos, peer) in online.iter().enumerate() {
+            if position.get(peer.index()).copied().flatten() != Some(pos as u32) {
+                return Err(rvs_checkpoint::DecodeError::Corrupt(format!(
+                    "OraclePss position table disagrees with online list at {peer}"
+                )));
+            }
+        }
+        Ok(OraclePss { position, online })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

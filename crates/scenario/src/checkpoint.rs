@@ -1,0 +1,216 @@
+//! Checkpoint container: the serialized form of a paused [`crate::System`].
+//!
+//! A [`Checkpoint`] is a self-contained byte blob — seed, configuration,
+//! scenario cast, trace, and every layer of protocol state — produced by
+//! [`crate::System::checkpoint`] and consumed by [`crate::System::restore`].
+//! Resuming from one is byte-identical to never having stopped (proven by
+//! `tests/checkpoint_differential.rs`). The format is versioned
+//! ([`rvs_checkpoint::FORMAT_VERSION`]); layout and versioning policy are
+//! documented in DESIGN.md §12.
+
+use rvs_checkpoint::{peek_version, DecodeError};
+use rvs_sim::SimTime;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// A serialized [`crate::System`] snapshot.
+///
+/// The blob always starts with the format header (magic + version) followed
+/// by the identity fields ([`CheckpointInfo`]); the rest is the sectioned
+/// system state. Construction goes through [`crate::System::checkpoint`] or
+/// [`Checkpoint::from_bytes`] — both guarantee a well-formed header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    pub(crate) bytes: Vec<u8>,
+}
+
+/// Header-level summary of a checkpoint, cheap to read (no full decode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    /// Format version the blob was written with.
+    pub version: u32,
+    /// The run's seed (every RNG stream derives from it).
+    pub seed: u64,
+    /// Simulation time at which the snapshot was taken.
+    pub now: SimTime,
+    /// Peers in the underlying trace.
+    pub trace_peers: usize,
+    /// Total nodes including any flash crowd.
+    pub total_nodes: usize,
+    /// Size of the whole blob in bytes.
+    pub bytes: usize,
+}
+
+impl fmt::Display for CheckpointInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "format version : {}", self.version)?;
+        writeln!(f, "seed           : {}", self.seed)?;
+        writeln!(f, "simulated time : {}", self.now)?;
+        writeln!(f, "trace peers    : {}", self.trace_peers)?;
+        writeln!(f, "total nodes    : {}", self.total_nodes)?;
+        write!(f, "size           : {} bytes", self.bytes)
+    }
+}
+
+impl Checkpoint {
+    /// Wrap raw bytes read from elsewhere, validating the magic bytes and
+    /// the identity prefix. Version skew is *not* rejected here — so
+    /// `rvs ckpt inspect` can summarize foreign files — only by
+    /// [`crate::System::restore`], which needs the full format to match.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Checkpoint, DecodeError> {
+        let ckpt = Checkpoint { bytes };
+        ckpt.peek_info()?;
+        Ok(ckpt)
+    }
+
+    /// The serialized blob.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consume the checkpoint, yielding the blob.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Decode the header-level summary without decoding the full state.
+    ///
+    /// Works on any version whose identity prefix matches (the prefix is
+    /// frozen across versions precisely so `inspect` keeps working), but
+    /// reports [`DecodeError::WrongVersion`] for blobs this build cannot
+    /// restore.
+    pub fn info(&self) -> Result<CheckpointInfo, DecodeError> {
+        let version = peek_version(&self.bytes)?;
+        let mut dec = rvs_checkpoint::Decoder::new(&self.bytes);
+        rvs_checkpoint::read_header(&mut dec)?;
+        let seed = dec.u64()?;
+        let now = rvs_checkpoint::Persist::restore(&mut dec)?;
+        let trace_peers = dec.usize()?;
+        let total_nodes = dec.usize()?;
+        Ok(CheckpointInfo {
+            version,
+            seed,
+            now,
+            trace_peers,
+            total_nodes,
+            bytes: self.bytes.len(),
+        })
+    }
+
+    /// Like [`Checkpoint::info`], but tolerant of future format versions:
+    /// returns the summary even when [`crate::System::restore`] would
+    /// refuse the blob. Only the magic bytes and identity prefix must
+    /// parse.
+    pub fn peek_info(&self) -> Result<CheckpointInfo, DecodeError> {
+        let version = peek_version(&self.bytes)?;
+        let mut dec = rvs_checkpoint::Decoder::new(&self.bytes);
+        // Skip magic + version (already validated by peek_version).
+        dec.take(rvs_checkpoint::MAGIC.len())?;
+        dec.u32()?;
+        let seed = dec.u64()?;
+        let now = rvs_checkpoint::Persist::restore(&mut dec)?;
+        let trace_peers = dec.usize()?;
+        let total_nodes = dec.usize()?;
+        Ok(CheckpointInfo {
+            version,
+            seed,
+            now,
+            trace_peers,
+            total_nodes,
+            bytes: self.bytes.len(),
+        })
+    }
+
+    /// Write the blob to `path` (atomically: temp file + rename, so a
+    /// crash mid-write never leaves a torn checkpoint behind).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &self.bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Read a checkpoint from `path`, validating header and identity
+    /// fields.
+    pub fn load(path: &Path) -> io::Result<Checkpoint> {
+        let bytes = std::fs::read(path)?;
+        Checkpoint::from_bytes(bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// Seeds of the committed golden checkpoint corpus under `tests/golden/`.
+pub const GOLDEN_SEEDS: [u64; 2] = [1, 2];
+
+/// Simulated hours the golden run advances before the snapshot is taken.
+pub const GOLDEN_HOURS: u64 = 2;
+
+/// File name of the committed golden checkpoint for `seed`.
+pub fn golden_file_name(seed: u64) -> String {
+    format!("fig6-seed{seed}.ckpt")
+}
+
+/// The canonical small fixed-seed Figure-6 run the golden corpus snapshots:
+/// 12 peers, a 6-hour quick trace, experience threshold 1 MiB, advanced
+/// [`GOLDEN_HOURS`] simulated hours. `rvs ckpt regen` rebuilds the corpus
+/// from this single definition; the forward-compat test restores the
+/// committed blobs against the current build and re-encodes them
+/// byte-identically.
+pub fn golden_system(seed: u64) -> crate::System {
+    let trace =
+        rvs_trace::TraceGenConfig::quick(12, rvs_sim::SimDuration::from_hours(6)).generate(seed);
+    let (setup, _) = crate::experiments::vote_sampling::fig6_setup(&trace, 0.25, 0.25, seed);
+    let cfg = crate::ProtocolConfig {
+        experience_t_mib: 1.0,
+        ..crate::ProtocolConfig::default()
+    };
+    let mut system = crate::System::new(trace, cfg, setup, seed);
+    system.run_until(
+        SimTime::from_hours(GOLDEN_HOURS),
+        rvs_sim::SimDuration::from_hours(1),
+        |_, _| {},
+    );
+    system
+}
+
+/// The golden checkpoint for `seed` — [`golden_system`] snapshotted.
+pub fn golden_checkpoint(seed: u64) -> Checkpoint {
+    golden_system(seed).checkpoint()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(matches!(
+            Checkpoint::from_bytes(vec![0u8; 64]),
+            Err(DecodeError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Checkpoint::from_bytes(Vec::new()),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn info_rejects_wrong_version_but_peek_reads_it() {
+        let mut enc = rvs_checkpoint::Encoder::new();
+        enc.raw(&rvs_checkpoint::MAGIC);
+        enc.u32(rvs_checkpoint::FORMAT_VERSION + 1);
+        enc.u64(42); // seed
+        enc.u64(0); // SimTime millis
+        enc.usize(10);
+        enc.usize(12);
+        let ckpt = Checkpoint {
+            bytes: enc.into_bytes(),
+        };
+        assert!(matches!(ckpt.info(), Err(DecodeError::WrongVersion { .. })));
+        let peeked = ckpt.peek_info().expect("identity prefix parses");
+        assert_eq!(peeked.version, rvs_checkpoint::FORMAT_VERSION + 1);
+        assert_eq!(peeked.seed, 42);
+        assert_eq!(peeked.trace_peers, 10);
+        assert_eq!(peeked.total_nodes, 12);
+    }
+}

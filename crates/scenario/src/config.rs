@@ -62,6 +62,40 @@ impl Default for ProtocolConfig {
     }
 }
 
+/// Stable binary encoding: every tuning field in declaration order —
+/// substrate configs first, then the gossip period, experience threshold,
+/// optional adaptive threshold, the two feature flags, and the legacy
+/// message-loss knob.
+impl rvs_checkpoint::Persist for ProtocolConfig {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.net.persist(enc);
+        self.bartercast.persist(enc);
+        self.modcast.persist(enc);
+        self.votes.persist(enc);
+        self.gossip_every.persist(enc);
+        enc.f64(self.experience_t_mib);
+        self.adaptive_t.persist(enc);
+        enc.bool(self.vox_enabled);
+        enc.bool(self.use_newscast_pss);
+        enc.f64(self.message_loss);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(ProtocolConfig {
+            net: NetConfig::restore(dec)?,
+            bartercast: BarterCastConfig::restore(dec)?,
+            modcast: ModerationCastConfig::restore(dec)?,
+            votes: rvs_core::VoteSamplingConfig::restore(dec)?,
+            gossip_every: SimDuration::restore(dec)?,
+            experience_t_mib: dec.f64()?,
+            adaptive_t: Option::restore(dec)?,
+            vox_enabled: dec.bool()?,
+            use_newscast_pss: dec.bool()?,
+            message_loss: dec.f64()?,
+        })
+    }
+}
+
 /// A moderator that publishes one moderation when it first appears.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModeratorSpec {
@@ -73,6 +107,25 @@ pub struct ModeratorSpec {
     pub quality: ContentQuality,
     /// Publication time.
     pub publish_at: SimTime,
+}
+
+/// Stable binary encoding: moderator, swarm, quality, publication time.
+impl rvs_checkpoint::Persist for ModeratorSpec {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.moderator.persist(enc);
+        self.swarm.persist(enc);
+        self.quality.persist(enc);
+        self.publish_at.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(ModeratorSpec {
+            moderator: ModeratorId::restore(dec)?,
+            swarm: SwarmId::restore(dec)?,
+            quality: ContentQuality::restore(dec)?,
+            publish_at: SimTime::restore(dec)?,
+        })
+    }
 }
 
 /// A voter assignment: `voter` casts `vote` on `moderator` as soon as it
@@ -88,6 +141,23 @@ pub struct VoterSpec {
     pub vote: LocalVote,
 }
 
+/// Stable binary encoding: voter, moderator, vote.
+impl rvs_checkpoint::Persist for VoterSpec {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.voter.persist(enc);
+        self.moderator.persist(enc);
+        self.vote.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(VoterSpec {
+            voter: NodeId::restore(dec)?,
+            moderator: ModeratorId::restore(dec)?,
+            vote: LocalVote::restore(dec)?,
+        })
+    }
+}
+
 /// A pre-seeded experienced core (Figure 8 setup: "we fixed 30 nodes to be
 /// part of the experienced core. At the start of the run the entire core
 /// is converged on a top moderator M1").
@@ -97,6 +167,21 @@ pub struct PreseededCore {
     pub members: Vec<NodeId>,
     /// The moderator the core has converged on.
     pub top_moderator: ModeratorId,
+}
+
+/// Stable binary encoding: member list, then the converged top moderator.
+impl rvs_checkpoint::Persist for PreseededCore {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.members.persist(enc);
+        self.top_moderator.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(PreseededCore {
+            members: Vec::restore(dec)?,
+            top_moderator: ModeratorId::restore(dec)?,
+        })
+    }
 }
 
 /// A flash crowd of colluding fresh identities promoting a spam moderator.
@@ -132,6 +217,36 @@ impl CrowdSpec {
     }
 }
 
+/// Stable binary encoding: size, join time, spam swarm, optional demote
+/// target, duty cycle, churn period — declaration order.
+impl rvs_checkpoint::Persist for CrowdSpec {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.usize(self.size);
+        self.join_at.persist(enc);
+        self.spam_swarm.persist(enc);
+        self.demote.persist(enc);
+        enc.f64(self.duty_cycle);
+        self.churn_period.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        let size = dec.usize()?;
+        if size == 0 {
+            return Err(rvs_checkpoint::DecodeError::Corrupt(
+                "CrowdSpec size must be positive".into(),
+            ));
+        }
+        Ok(CrowdSpec {
+            size,
+            join_at: SimTime::restore(dec)?,
+            spam_swarm: SwarmId::restore(dec)?,
+            demote: Option::restore(dec)?,
+            duty_cycle: dec.f64()?,
+            churn_period: SimDuration::restore(dec)?,
+        })
+    }
+}
+
 /// The full cast of a scenario.
 #[derive(Debug, Clone, Default)]
 pub struct ScenarioSetup {
@@ -143,6 +258,26 @@ pub struct ScenarioSetup {
     pub core: Option<PreseededCore>,
     /// Flash crowd, if the scenario is under attack.
     pub crowd: Option<CrowdSpec>,
+}
+
+/// Stable binary encoding: moderators, voters, optional core, optional
+/// crowd.
+impl rvs_checkpoint::Persist for ScenarioSetup {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.moderators.persist(enc);
+        self.voters.persist(enc);
+        self.core.persist(enc);
+        self.crowd.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(ScenarioSetup {
+            moderators: Vec::restore(dec)?,
+            voters: Vec::restore(dec)?,
+            core: Option::restore(dec)?,
+            crowd: Option::restore(dec)?,
+        })
+    }
 }
 
 impl Default for PreseededCore {

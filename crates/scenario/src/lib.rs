@@ -19,11 +19,13 @@
 //!   VoxPopuli on/off.
 
 pub mod audit;
+pub mod checkpoint;
 pub mod config;
 pub mod experiments;
 pub mod system;
 
 pub use audit::Auditor;
+pub use checkpoint::{Checkpoint, CheckpointInfo};
 pub use config::{
     CrowdSpec, ModeratorSpec, PreseededCore, ProtocolConfig, ScenarioSetup, VoterSpec,
 };

@@ -2,10 +2,12 @@
 //! trace.
 
 use crate::audit::Auditor;
+use crate::checkpoint::Checkpoint;
 use crate::config::{ProtocolConfig, ScenarioSetup};
 use rvs_attacks::FlashCrowd;
 use rvs_bartercast::{AdaptiveThreshold, BarterCast};
 use rvs_bittorrent::BitTorrentNet;
+use rvs_checkpoint::Persist as _;
 use rvs_core::{BallotBox, VoteEntry, VoteSampling};
 use rvs_faults::{
     Backoff, BackoffDecision, FaultConfig, FaultLane, FaultPlane, FaultSchedule, PartitionView,
@@ -59,6 +61,71 @@ enum FaultEvent {
     Crash(NodeId),
 }
 
+/// Stable binary encoding: a `u8` discriminant (0 = Deliver, 1 = Resend,
+/// 2 = PartitionStart, 3 = PartitionHeal, 4 = Crash) followed by the
+/// variant's fields in declaration order.
+impl rvs_checkpoint::Persist for FaultEvent {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        match *self {
+            FaultEvent::Deliver {
+                id,
+                from,
+                to,
+                attempt,
+                primary,
+            } => {
+                enc.u8(0);
+                enc.u64(id);
+                from.persist(enc);
+                to.persist(enc);
+                enc.u32(attempt);
+                enc.bool(primary);
+            }
+            FaultEvent::Resend { from, to, attempt } => {
+                enc.u8(1);
+                from.persist(enc);
+                to.persist(enc);
+                enc.u32(attempt);
+            }
+            FaultEvent::PartitionStart(idx) => {
+                enc.u8(2);
+                enc.usize(idx);
+            }
+            FaultEvent::PartitionHeal(idx) => {
+                enc.u8(3);
+                enc.usize(idx);
+            }
+            FaultEvent::Crash(node) => {
+                enc.u8(4);
+                node.persist(enc);
+            }
+        }
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        match dec.u8()? {
+            0 => Ok(FaultEvent::Deliver {
+                id: dec.u64()?,
+                from: NodeId::restore(dec)?,
+                to: NodeId::restore(dec)?,
+                attempt: dec.u32()?,
+                primary: dec.bool()?,
+            }),
+            1 => Ok(FaultEvent::Resend {
+                from: NodeId::restore(dec)?,
+                to: NodeId::restore(dec)?,
+                attempt: dec.u32()?,
+            }),
+            2 => Ok(FaultEvent::PartitionStart(dec.usize()?)),
+            3 => Ok(FaultEvent::PartitionHeal(dec.usize()?)),
+            4 => Ok(FaultEvent::Crash(NodeId::restore(dec)?)),
+            d => Err(rvs_checkpoint::DecodeError::Corrupt(format!(
+                "invalid FaultEvent discriminant {d}"
+            ))),
+        }
+    }
+}
+
 /// Number of vote entries `voter` currently holds in `ballot`.
 fn votes_from(ballot: &BallotBox, voter: NodeId) -> usize {
     ballot.iter().filter(|&(v, _, _, _)| v == voter).count()
@@ -99,8 +166,39 @@ impl Pss {
     }
 }
 
+/// Stable binary encoding: a `u8` discriminant (0 = Oracle, 1 = Newscast)
+/// followed by the wrapped sampler's state.
+impl rvs_checkpoint::Persist for Pss {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        match self {
+            Pss::Oracle(o) => {
+                enc.u8(0);
+                o.persist(enc);
+            }
+            Pss::Newscast(n) => {
+                enc.u8(1);
+                n.persist(enc);
+            }
+        }
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        match dec.u8()? {
+            0 => Ok(Pss::Oracle(OraclePss::restore(dec)?)),
+            1 => Ok(Pss::Newscast(NewscastPss::restore(dec)?)),
+            d => Err(rvs_checkpoint::DecodeError::Corrupt(format!(
+                "invalid Pss discriminant {d}"
+            ))),
+        }
+    }
+}
+
 /// The fully wired simulation.
 pub struct System {
+    /// The run's master seed; every RNG stream is a labelled fork of it.
+    /// Carried so checkpoints are self-contained (volatile state such as
+    /// the key registry is re-derived from it on restore).
+    seed: u64,
     cfg: ProtocolConfig,
     setup: ScenarioSetup,
     trace: Trace,
@@ -272,6 +370,7 @@ impl System {
         let threads = pool::env_threads();
         let bt_online0 = net.online_flags().to_vec();
         System {
+            seed,
             cfg,
             setup,
             trace,
@@ -314,6 +413,281 @@ impl System {
             vox_backoff: vec![Backoff::new(); n_total],
             vox_decliners: vec![BTreeSet::new(); n_total],
         }
+    }
+
+    /// The master seed this run was assembled from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Serialize the complete resumable state into a self-contained
+    /// [`Checkpoint`]: seed, configuration, scenario cast, trace, every
+    /// protocol layer, every RNG lane, the fault plane with its in-flight
+    /// event queue, and the telemetry counters. Volatile-by-design state
+    /// (thread pool, wall-clock phase timer, auditor, key registry, flash
+    /// crowd handle) is *not* written — [`System::restore`] re-derives it,
+    /// which is what makes restoring on a different thread count legal.
+    /// Resuming is byte-identical to never having stopped (proven by
+    /// `tests/checkpoint_differential.rs`); layout and versioning policy
+    /// are documented in DESIGN.md §12.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let mut enc = rvs_checkpoint::Encoder::new();
+        rvs_checkpoint::write_header(&mut enc);
+        // Identity prefix, frozen across format versions so that
+        // `rvs ckpt inspect` can summarize any checkpoint file.
+        enc.u64(self.seed);
+        self.now.persist(&mut enc);
+        enc.usize(self.n_trace);
+        enc.usize(self.n_total);
+
+        enc.tag("cfg");
+        self.cfg.persist(&mut enc);
+        enc.tag("setup");
+        self.setup.persist(&mut enc);
+        enc.tag("trace");
+        self.trace.persist(&mut enc);
+
+        enc.tag("net");
+        self.net.persist(&mut enc);
+        enc.tag("pss");
+        self.pss.persist(&mut enc);
+        enc.tag("bartercast");
+        self.bc.persist(&mut enc);
+        enc.tag("modcast");
+        self.mc.persist(&mut enc);
+        enc.tag("votes");
+        self.vs.persist(&mut enc);
+
+        enc.tag("scenario");
+        enc.bool(self.crowd_activated);
+        self.crowd_online.persist(&mut enc);
+        self.core_members.persist(&mut enc);
+        self.adaptive.persist(&mut enc);
+        self.published.persist(&mut enc);
+        self.vote_cast.persist(&mut enc);
+
+        enc.tag("clock");
+        enc.usize(self.next_event);
+        self.next_gossip.persist(&mut enc);
+
+        enc.tag("rng");
+        self.rng_gossip.persist(&mut enc);
+        self.rng_pss.persist(&mut enc);
+        self.rng_audit.persist(&mut enc);
+        self.send_rng.persist(&mut enc);
+
+        enc.tag("bt");
+        self.bt_window_start.persist(&mut enc);
+        self.bt_online0.persist(&mut enc);
+        enc.usize(self.bt_event_lo);
+
+        enc.tag("counters");
+        self.enc.persist(&mut enc);
+
+        enc.tag("faults");
+        self.faults.persist(&mut enc);
+        self.fault_events.persist(&mut enc);
+        enc.u64(self.next_msg_id);
+        enc.u64(self.pending_primary);
+        enc.u64(self.max_fired_msg);
+        self.seen_msgs.persist(&mut enc);
+        self.vox_backoff.persist(&mut enc);
+        self.vox_decliners.persist(&mut enc);
+
+        Checkpoint {
+            bytes: enc.into_bytes(),
+        }
+    }
+
+    /// Rebuild a [`System`] from a [`Checkpoint`], re-deriving every
+    /// volatile: the thread pool from the current environment (so a
+    /// checkpoint taken under `RVS_THREADS=1` restores cleanly under
+    /// `RVS_THREADS=4` and vice versa), the key registry from the seed,
+    /// the flash-crowd handle from the persisted spec, a fresh phase
+    /// timer, and auditing off (call [`System::enable_audit`] again to
+    /// resume invariant checking — the audit RNG lane is persisted, so a
+    /// re-enabled auditor samples exactly as an uninterrupted one).
+    ///
+    /// Never panics on damaged input: corrupt, truncated, or
+    /// version-skewed blobs surface as typed [`DecodeError`]s, and
+    /// cross-field consistency (population sizes, cursor bounds,
+    /// per-node vector lengths) is validated before any state is used.
+    ///
+    /// [`DecodeError`]: rvs_checkpoint::DecodeError
+    pub fn restore(ckpt: &Checkpoint) -> Result<System, rvs_checkpoint::DecodeError> {
+        let corrupt = |msg: String| rvs_checkpoint::DecodeError::Corrupt(msg);
+        let mut dec = rvs_checkpoint::Decoder::new(ckpt.as_bytes());
+        rvs_checkpoint::read_header(&mut dec)?;
+        let seed = dec.u64()?;
+        let now = SimTime::restore(&mut dec)?;
+        let n_trace = dec.usize()?;
+        let n_total = dec.usize()?;
+
+        dec.tag("cfg")?;
+        let cfg = ProtocolConfig::restore(&mut dec)?;
+        dec.tag("setup")?;
+        let setup = ScenarioSetup::restore(&mut dec)?;
+        dec.tag("trace")?;
+        let trace = Trace::restore(&mut dec)?;
+
+        dec.tag("net")?;
+        let net = BitTorrentNet::restore(&mut dec)?;
+        dec.tag("pss")?;
+        let pss = Pss::restore(&mut dec)?;
+        dec.tag("bartercast")?;
+        let bc = BarterCast::restore(&mut dec)?;
+        dec.tag("modcast")?;
+        let mc = ModerationCast::restore(&mut dec)?;
+        dec.tag("votes")?;
+        let vs = VoteSampling::restore(&mut dec)?;
+
+        dec.tag("scenario")?;
+        let crowd_activated = dec.bool()?;
+        let crowd_online: Vec<bool> = Vec::restore(&mut dec)?;
+        let core_members: BTreeSet<NodeId> = BTreeSet::restore(&mut dec)?;
+        let adaptive: Option<Vec<AdaptiveThreshold>> = Option::restore(&mut dec)?;
+        let published: Vec<bool> = Vec::restore(&mut dec)?;
+        let vote_cast: Vec<bool> = Vec::restore(&mut dec)?;
+
+        dec.tag("clock")?;
+        let next_event = dec.usize()?;
+        let next_gossip = SimTime::restore(&mut dec)?;
+
+        dec.tag("rng")?;
+        let rng_gossip = DetRng::restore(&mut dec)?;
+        let rng_pss = DetRng::restore(&mut dec)?;
+        let rng_audit = DetRng::restore(&mut dec)?;
+        let send_rng: Vec<DetRng> = Vec::restore(&mut dec)?;
+
+        dec.tag("bt")?;
+        let bt_window_start = SimTime::restore(&mut dec)?;
+        let bt_online0: Vec<bool> = Vec::restore(&mut dec)?;
+        let bt_event_lo = dec.usize()?;
+
+        dec.tag("counters")?;
+        let enc_counters = EncounterCounters::restore(&mut dec)?;
+
+        dec.tag("faults")?;
+        let faults = FaultPlane::restore(&mut dec)?;
+        let fault_events: Engine<FaultEvent> = Engine::restore(&mut dec)?;
+        let next_msg_id = dec.u64()?;
+        let pending_primary = dec.u64()?;
+        let max_fired_msg = dec.u64()?;
+        let seen_msgs: Vec<BTreeSet<u64>> = Vec::restore(&mut dec)?;
+        let vox_backoff: Vec<Backoff> = Vec::restore(&mut dec)?;
+        let vox_decliners: Vec<BTreeSet<NodeId>> = Vec::restore(&mut dec)?;
+        dec.finish()?;
+
+        // Cross-field consistency: a blob that decodes field-by-field can
+        // still describe an impossible system; reject it before wiring.
+        let crowd_size = setup.crowd.map(|c| c.size).unwrap_or(0);
+        if trace.peer_count() != n_trace {
+            return Err(corrupt(format!(
+                "trace has {} peers but header claims {n_trace}",
+                trace.peer_count()
+            )));
+        }
+        if n_total != n_trace + crowd_size {
+            return Err(corrupt(format!(
+                "total nodes {n_total} != trace peers {n_trace} + crowd {crowd_size}"
+            )));
+        }
+        if crowd_online.len() != crowd_size {
+            return Err(corrupt(format!(
+                "crowd online flags {} != crowd size {crowd_size}",
+                crowd_online.len()
+            )));
+        }
+        for (name, len) in [
+            ("send RNG lanes", send_rng.len()),
+            ("dedup windows", seen_msgs.len()),
+            ("backoff states", vox_backoff.len()),
+            ("decliner windows", vox_decliners.len()),
+        ] {
+            if len != n_total {
+                return Err(corrupt(format!("{name} {len} != total nodes {n_total}")));
+            }
+        }
+        if published.len() != setup.moderators.len() || vote_cast.len() != setup.voters.len() {
+            return Err(corrupt(format!(
+                "cast progress ({}, {}) does not match setup ({}, {})",
+                published.len(),
+                vote_cast.len(),
+                setup.moderators.len(),
+                setup.voters.len()
+            )));
+        }
+        if next_event > trace.events.len() || bt_event_lo > next_event {
+            return Err(corrupt(format!(
+                "event cursors ({bt_event_lo}, {next_event}) exceed trace length {}",
+                trace.events.len()
+            )));
+        }
+        if bt_online0.len() != net.online_flags().len() {
+            return Err(corrupt(format!(
+                "BitTorrent online snapshot {} != substrate population {}",
+                bt_online0.len(),
+                net.online_flags().len()
+            )));
+        }
+
+        // Volatile rebuilds — everything deliberately outside the blob.
+        let registry = KeyRegistry::new(n_total, seed ^ 0x5EED);
+        let crowd = setup.crowd.map(|spec| {
+            let members: Vec<NodeId> = (n_trace..n_total).map(NodeId::from_index).collect();
+            FlashCrowd::new(
+                members,
+                NodeId::from_index(n_trace),
+                spec.demote,
+                spec.join_at,
+            )
+        });
+        let threads = pool::env_threads();
+
+        Ok(System {
+            seed,
+            cfg,
+            setup,
+            trace,
+            n_trace,
+            n_total,
+            net,
+            pss,
+            bc,
+            mc,
+            registry,
+            vs,
+            crowd,
+            crowd_activated,
+            crowd_online,
+            core_members,
+            adaptive,
+            published,
+            vote_cast,
+            now,
+            next_event,
+            next_gossip,
+            rng_gossip,
+            rng_pss,
+            rng_audit,
+            send_rng,
+            threads,
+            pool: Pool::new(threads),
+            bt_window_start,
+            bt_online0,
+            bt_event_lo,
+            enc: enc_counters,
+            timer: PhaseTimer::new(),
+            audit: None,
+            faults,
+            fault_events,
+            next_msg_id,
+            pending_primary,
+            max_fired_msg,
+            seen_msgs,
+            vox_backoff,
+            vox_decliners,
+        })
     }
 
     /// Set the worker-thread count for the parallel round engine (clamped
@@ -968,6 +1342,13 @@ impl System {
     /// Apply message `id`'s exchange: record it in both dedup windows,
     /// track send-order inversions, and run the protocol encounter.
     fn apply_message(&mut self, id: u64, from: NodeId, to: NodeId) {
+        // The encounter reads the transfer ledger, so pending BitTorrent
+        // ticks must materialize first: otherwise the exchange would see
+        // state "as of the last window cut", and outcomes would depend on
+        // where `run_until` stop/sample boundaries happened to fall —
+        // breaking the resume-transparency the checkpoint differential
+        // tests prove.
+        self.materialize_bt(self.now);
         if id < self.max_fired_msg {
             self.faults.counters_mut().reordered += 1;
         } else {

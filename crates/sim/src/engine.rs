@@ -131,6 +131,28 @@ impl<E> Engine<E> {
     }
 }
 
+/// Stable binary encoding: clock, processed count, then the queue. Restore
+/// rebuilds the engine directly (bypassing [`Engine::schedule_at`]'s
+/// past-time assertion, which restored queues trivially satisfy anyway).
+impl<E: rvs_checkpoint::Persist> rvs_checkpoint::Persist for Engine<E> {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.now.persist(enc);
+        enc.u64(self.processed);
+        self.queue.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        let now = SimTime::restore(dec)?;
+        let processed = dec.u64()?;
+        let queue = EventQueue::restore(dec)?;
+        Ok(Engine {
+            now,
+            queue,
+            processed,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -102,6 +102,38 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// Stable binary encoding. A `BinaryHeap`'s internal arrangement depends on
+/// its operation history, so the canonical form is the entry list sorted by
+/// `(time, seq)` — the exact pop order — plus `next_seq`. Sequence numbers
+/// are preserved verbatim so timestamp ties keep firing in their original
+/// insertion order after restore.
+impl<E: rvs_checkpoint::Persist> rvs_checkpoint::Persist for EventQueue<E> {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.u64(self.next_seq);
+        let mut entries: Vec<&Scheduled<E>> = self.heap.iter().collect();
+        entries.sort_by_key(|s| (s.time, s.seq));
+        enc.usize(entries.len());
+        for s in entries {
+            s.time.persist(enc);
+            enc.u64(s.seq);
+            s.event.persist(enc);
+        }
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        let next_seq = dec.u64()?;
+        let len = dec.seq_len()?;
+        let mut heap = BinaryHeap::with_capacity(len);
+        for _ in 0..len {
+            let time = SimTime::restore(dec)?;
+            let seq = dec.u64()?;
+            let event = E::restore(dec)?;
+            heap.push(Scheduled { time, seq, event });
+        }
+        Ok(EventQueue { heap, next_seq })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,6 +44,19 @@ macro_rules! id_newtype {
                 Self(v)
             }
         }
+
+        /// Stable binary encoding: the raw `u32` index.
+        impl rvs_checkpoint::Persist for $name {
+            fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+                enc.u32(self.0);
+            }
+
+            fn restore(
+                dec: &mut rvs_checkpoint::Decoder<'_>,
+            ) -> Result<Self, rvs_checkpoint::DecodeError> {
+                Ok(Self(dec.u32()?))
+            }
+        }
     };
 }
 

@@ -64,6 +64,21 @@ macro_rules! counter_block {
                 0u64 $( .saturating_add(self.$field) )+
             }
         }
+
+        /// Stable binary encoding: every counter as a `u64`, in declaration
+        /// order. Adding, removing, or reordering fields is a checkpoint
+        /// format change and must bump `rvs_checkpoint::FORMAT_VERSION`.
+        impl rvs_checkpoint::Persist for $name {
+            fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+                $( enc.u64(self.$field); )+
+            }
+
+            fn restore(
+                dec: &mut rvs_checkpoint::Decoder<'_>,
+            ) -> Result<Self, rvs_checkpoint::DecodeError> {
+                Ok(Self { $( $field: dec.u64()?, )+ })
+            }
+        }
     };
 }
 
@@ -215,6 +230,18 @@ impl SharedCounter {
 impl Clone for SharedCounter {
     fn clone(&self) -> Self {
         SharedCounter(AtomicU64::new(self.get()))
+    }
+}
+
+/// Stable binary encoding: the current value (a relaxed load — checkpoints
+/// are only taken between rounds, when no other thread is incrementing).
+impl rvs_checkpoint::Persist for SharedCounter {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.u64(self.get());
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(SharedCounter(AtomicU64::new(dec.u64()?)))
     }
 }
 

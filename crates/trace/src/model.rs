@@ -79,6 +79,97 @@ impl SwarmSpec {
     }
 }
 
+/// Stable binary encoding: a `u8` discriminant (0 = Online, 1 = Offline,
+/// 2 = StartDownload followed by the swarm id).
+impl rvs_checkpoint::Persist for TraceEventKind {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        match self {
+            TraceEventKind::Online => enc.u8(0),
+            TraceEventKind::Offline => enc.u8(1),
+            TraceEventKind::StartDownload { swarm } => {
+                enc.u8(2);
+                swarm.persist(enc);
+            }
+        }
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        match dec.u8()? {
+            0 => Ok(TraceEventKind::Online),
+            1 => Ok(TraceEventKind::Offline),
+            2 => Ok(TraceEventKind::StartDownload {
+                swarm: SwarmId::restore(dec)?,
+            }),
+            d => Err(rvs_checkpoint::DecodeError::Corrupt(format!(
+                "invalid TraceEventKind discriminant {d}"
+            ))),
+        }
+    }
+}
+
+/// Stable binary encoding: time, peer, kind.
+impl rvs_checkpoint::Persist for TraceEvent {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.time.persist(enc);
+        self.peer.persist(enc);
+        self.kind.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(TraceEvent {
+            time: SimTime::restore(dec)?,
+            peer: NodeId::restore(dec)?,
+            kind: TraceEventKind::restore(dec)?,
+        })
+    }
+}
+
+/// Stable binary encoding: fields in declaration order.
+impl rvs_checkpoint::Persist for PeerProfile {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.id.persist(enc);
+        self.arrival.persist(enc);
+        enc.bool(self.connectable);
+        enc.bool(self.free_rider);
+        self.seed_duration.persist(enc);
+        enc.u32(self.uplink_kibps);
+        enc.u32(self.downlink_kibps);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(PeerProfile {
+            id: NodeId::restore(dec)?,
+            arrival: SimTime::restore(dec)?,
+            connectable: dec.bool()?,
+            free_rider: dec.bool()?,
+            seed_duration: SimDuration::restore(dec)?,
+            uplink_kibps: dec.u32()?,
+            downlink_kibps: dec.u32()?,
+        })
+    }
+}
+
+/// Stable binary encoding: fields in declaration order.
+impl rvs_checkpoint::Persist for SwarmSpec {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.id.persist(enc);
+        self.created.persist(enc);
+        enc.u32(self.file_size_mib);
+        enc.u32(self.piece_size_kib);
+        self.initial_seeder.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(SwarmSpec {
+            id: SwarmId::restore(dec)?,
+            created: SimTime::restore(dec)?,
+            file_size_mib: dec.u32()?,
+            piece_size_kib: dec.u32()?,
+            initial_seeder: NodeId::restore(dec)?,
+        })
+    }
+}
+
 /// Validation failures for a [`Trace`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceError {
@@ -246,6 +337,27 @@ impl Trace {
             }
         }
         total
+    }
+}
+
+/// Stable binary encoding: seed, duration, peers, swarms, events.
+impl rvs_checkpoint::Persist for Trace {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.u64(self.seed);
+        self.duration.persist(enc);
+        self.peers.persist(enc);
+        self.swarms.persist(enc);
+        self.events.persist(enc);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(Trace {
+            seed: dec.u64()?,
+            duration: SimDuration::restore(dec)?,
+            peers: Vec::restore(dec)?,
+            swarms: Vec::restore(dec)?,
+            events: Vec::restore(dec)?,
+        })
     }
 }
 

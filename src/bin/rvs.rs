@@ -11,17 +11,22 @@
 //! way to poke at the system without writing code; the experiment
 //! binaries in `rvs-bench` regenerate the paper's figures.
 
+use robust_vote_sampling::checkpoint::FORMAT_VERSION;
 use robust_vote_sampling::core::ModeratorBoard;
 use robust_vote_sampling::faults::FaultSchedule;
 use robust_vote_sampling::metrics::TimeSeries;
+use robust_vote_sampling::scenario::checkpoint::{
+    golden_checkpoint, golden_file_name, GOLDEN_SEEDS,
+};
 use robust_vote_sampling::scenario::experiments::experience::dataset_statistics;
 use robust_vote_sampling::scenario::experiments::spam::fig8_setup;
 use robust_vote_sampling::scenario::experiments::vote_sampling::fig6_setup;
-use robust_vote_sampling::scenario::{ProtocolConfig, System};
+use robust_vote_sampling::scenario::{Checkpoint, ProtocolConfig, System};
 use robust_vote_sampling::sim::{NodeId, SimDuration, SimTime};
 use robust_vote_sampling::telemetry;
 use robust_vote_sampling::trace::{io, TraceGenConfig, TraceStats};
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -37,6 +42,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&flags),
         "run" => cmd_run(&flags),
         "attack" => cmd_attack(&flags),
+        "ckpt" => cmd_ckpt(&args[1..], &flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -58,14 +64,23 @@ USAGE:
         dataset statistics over N traces (the paper's §VI summary)
     rvs run    [--seed N] [--peers N] [--hours N] [--t-mib X] [--loss X]
                [--faults FILE] [--threads N] [--telemetry FILE|-]
+               [--checkpoint-every N] [--checkpoint-dir D] [--resume FILE]
         full-stack Figure 6 scenario; prints the accuracy curve and the
         best-informed node's moderator board. --faults loads a JSON
         FaultSchedule (latency/jitter, loss, burst loss, duplication,
         partitions, crash-restarts, retry/backoff; see DESIGN.md §10)
-        and routes every delivery through the fault-injection plane
+        and routes every delivery through the fault-injection plane.
+        --checkpoint-every N writes a checkpoint every N simulated hours
+        into --checkpoint-dir (default `.`); --resume FILE restores a
+        checkpoint and continues the run to --hours — byte-identical to
+        never having stopped (DESIGN.md §12), on any --threads
     rvs attack [--seed N] [--peers N] [--core N] [--crowd N] [--hours N]
                [--threads N] [--telemetry FILE|-]
         Figure 8 flash-crowd scenario; prints the pollution curve
+    rvs ckpt inspect FILE
+        print a checkpoint's header summary (any format version)
+    rvs ckpt regen [--dir D]
+        regenerate the golden checkpoint corpus (default D: tests/golden)
 
     --threads N shards the simulation round engine across N worker
     threads (0 = honour RVS_THREADS, the default). Results are
@@ -170,44 +185,104 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
     flags.entry("peers".into()).or_insert_with(|| "40".into());
     flags.entry("hours".into()).or_insert_with(|| "48".into());
     let hours: u64 = get(&flags, "hours", 48);
-    let cfg = trace_cfg(&flags);
-    let trace = cfg.generate(seed);
-    let (setup, m) = fig6_setup(&trace, 0.15, 0.15, seed);
-    let protocol = ProtocolConfig {
-        experience_t_mib: get(&flags, "t-mib", 5.0),
-        message_loss: get(&flags, "loss", 0.0),
-        ..ProtocolConfig::default()
-    };
     if flags.contains_key("telemetry") {
         telemetry::set_enabled(true);
     }
-    let schedule = match flags.get("faults") {
-        Some(path) => {
-            let text = match std::fs::read_to_string(path) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("failed to read fault schedule {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            match FaultSchedule::from_json(&text) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("invalid fault schedule {path}: {e}");
-                    return ExitCode::FAILURE;
+    // --resume restores everything (seed, trace, cast, fault plane) from
+    // the checkpoint; the fresh-run flags configure a new system.
+    let (mut system, m) = if let Some(path) = flags.get("resume") {
+        let ckpt = match Checkpoint::load(Path::new(path)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("failed to load checkpoint {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let system = match System::restore(&ckpt) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot restore {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!("resumed from {path} at {}", system.now());
+        // The Fig 6 cast is a pure function of (trace, seed), both of
+        // which the checkpoint carries — recompute the expected order.
+        let (_, m) = fig6_setup(system.trace(), 0.15, 0.15, system.seed());
+        (system, m)
+    } else {
+        let cfg = trace_cfg(&flags);
+        let trace = cfg.generate(seed);
+        let (setup, m) = fig6_setup(&trace, 0.15, 0.15, seed);
+        let protocol = ProtocolConfig {
+            experience_t_mib: get(&flags, "t-mib", 5.0),
+            message_loss: get(&flags, "loss", 0.0),
+            ..ProtocolConfig::default()
+        };
+        let schedule = match flags.get("faults") {
+            Some(path) => {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("failed to read fault schedule {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match FaultSchedule::from_json(&text) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("invalid fault schedule {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
-        }
-        None => FaultSchedule::default(),
+            None => FaultSchedule::default(),
+        };
+        (
+            System::with_faults(trace, protocol, setup, seed, schedule),
+            m,
+        )
     };
-    let mut system = System::with_faults(trace, protocol, setup, seed, schedule);
     apply_threads(&mut system, &flags);
+    let end = SimTime::from_hours(hours);
+    let sample = SimDuration::from_hours((hours / 12).max(1));
+    let ckpt_every: u64 = get(&flags, "checkpoint-every", 0);
     let mut series = TimeSeries::new("accuracy");
-    system.run_until(
-        SimTime::from_hours(hours),
-        SimDuration::from_hours((hours / 12).max(1)),
-        |sys, now| series.push(now, sys.ordering_accuracy(&m)),
-    );
+    if ckpt_every == 0 {
+        system.run_until(end, sample, |sys, now| {
+            series.push(now, sys.ordering_accuracy(&m));
+        });
+    } else {
+        // Observe hourly so both the sampling cadence and the checkpoint
+        // cadence land on exact hour marks; failures inside the closure
+        // are carried out and reported after the run.
+        let dir = flags
+            .get("checkpoint-dir")
+            .cloned()
+            .unwrap_or_else(|| ".".to_string());
+        let mut next_series = system.now();
+        let mut next_ckpt = system.now() + SimDuration::from_hours(ckpt_every);
+        let mut save_error: Option<String> = None;
+        system.run_until(end, SimDuration::from_hours(1), |sys, now| {
+            if now >= next_series || now >= end {
+                series.push(now, sys.ordering_accuracy(&m));
+                next_series = now + sample;
+            }
+            if now >= next_ckpt && now < end && save_error.is_none() {
+                next_ckpt = now + SimDuration::from_hours(ckpt_every);
+                let hours_mark = now.as_millis() / 3_600_000;
+                let path = Path::new(&dir).join(format!("ckpt-{hours_mark}h.ckpt"));
+                match sys.checkpoint().save(&path) {
+                    Ok(()) => eprintln!("checkpoint written to {}", path.display()),
+                    Err(e) => save_error = Some(format!("{}: {e}", path.display())),
+                }
+            }
+        });
+        if let Some(msg) = save_error {
+            eprintln!("failed to write checkpoint {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
     println!("fraction of nodes ranking M1 > M2 > M3:");
     print!("{}", TimeSeries::render_table(&[&series]));
     let observer = (0..system.trace_peer_count())
@@ -223,6 +298,64 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
         return code;
     }
     ExitCode::SUCCESS
+}
+
+/// `rvs ckpt inspect FILE` / `rvs ckpt regen [--dir D]`.
+fn cmd_ckpt(rest: &[String], flags: &BTreeMap<String, String>) -> ExitCode {
+    match rest.first().map(String::as_str) {
+        Some("inspect") => {
+            let Some(path) = rest.get(1).filter(|p| !p.starts_with("--")) else {
+                eprintln!("usage: rvs ckpt inspect FILE");
+                return ExitCode::FAILURE;
+            };
+            let ckpt = match Checkpoint::load(Path::new(path)) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("failed to load checkpoint {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match ckpt.peek_info() {
+                Ok(info) => {
+                    println!("{info}");
+                    if info.version != FORMAT_VERSION {
+                        println!(
+                            "note: this build restores version {FORMAT_VERSION} only; \
+                             the file cannot be resumed here"
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cannot read checkpoint header of {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("regen") => {
+            let dir = flags
+                .get("dir")
+                .cloned()
+                .unwrap_or_else(|| "tests/golden".to_string());
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("cannot create {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+            for seed in GOLDEN_SEEDS {
+                let path = Path::new(&dir).join(golden_file_name(seed));
+                if let Err(e) = golden_checkpoint(seed).save(&path) {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {}", path.display());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: rvs ckpt inspect FILE | rvs ckpt regen [--dir D]");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_attack(flags: &BTreeMap<String, String>) -> ExitCode {

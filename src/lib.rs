@@ -15,6 +15,7 @@
 //! * [`sim`] — deterministic discrete-event engine, time, RNG.
 //! * [`trace`] — peer churn traces (synthetic, filelist.org-calibrated).
 //! * [`bittorrent`] — piece-level swarm simulation and transfer accounting.
+//! * [`checkpoint`] — stable versioned binary persistence (`Persist`).
 //! * [`pss`] — peer sampling service (oracle + Newscast gossip).
 //! * [`bartercast`] — contribution graphs, bounded maxflow, experience.
 //! * [`modcast`] — signed moderations and approval-gated dissemination.
@@ -40,6 +41,7 @@
 pub use rvs_attacks as attacks;
 pub use rvs_bartercast as bartercast;
 pub use rvs_bittorrent as bittorrent;
+pub use rvs_checkpoint as checkpoint;
 pub use rvs_core as core;
 pub use rvs_faults as faults;
 pub use rvs_metrics as metrics;

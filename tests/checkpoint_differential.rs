@@ -1,0 +1,306 @@
+//! Differential proof that checkpoint/restore is invisible: running to
+//! round R, checkpointing, restoring, and continuing is **byte-identical**
+//! to never having stopped.
+//!
+//! Every scenario × seed × resume-point cell compares the same fingerprint
+//! the thread-invariance suite uses — the full telemetry counter snapshot
+//! as compact JSON, every node's displayed ranking and ballot voter count,
+//! the exact `f64::to_bits` pattern of every pairwise contribution, the
+//! ledger total and the in-flight count — so any state the checkpoint
+//! forgets (an RNG lane, a backoff timer, a dedup window, a BitTorrent
+//! window cursor) shows up as a byte diff downstream of the resume point.
+//!
+//! The resume path deliberately round-trips through bytes
+//! (`Checkpoint::from_bytes(checkpoint().into_bytes())`), so the encoding
+//! itself — not just the in-memory clone — is what is proven equivalent.
+//! The suite runs under both CI thread legs (`RVS_THREADS` 1 and 4), and
+//! dedicated cases restore on a *different* thread count than the run that
+//! wrote the checkpoint.
+
+use robust_vote_sampling::faults::{
+    BurstLoss, CrashSpec, FaultConfig, FaultSchedule, PartitionSpec, RetryConfig,
+};
+use robust_vote_sampling::scenario::experiments::vote_sampling::fig6_setup;
+use robust_vote_sampling::scenario::{Checkpoint, ProtocolConfig, System};
+use rvs_sim::{NodeId, SimDuration, SimTime};
+use rvs_trace::TraceGenConfig;
+use std::fmt::Write as _;
+
+/// Everything observable about a finished run, as comparable text.
+fn fingerprint(system: &System) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &system
+            .telemetry_snapshot()
+            .counters_only()
+            .to_json_compact(),
+    );
+    out.push('\n');
+    let n = system.trace_peer_count();
+    for i in 0..n {
+        let node = NodeId::from_index(i);
+        let _ = writeln!(
+            out,
+            "{node} ranking={:?} voters={}",
+            system.display_ranking(node),
+            system.votes().ballot(node).unique_voters()
+        );
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let c = system.contribution_mib(NodeId::from_index(i), NodeId::from_index(j));
+            if c != 0.0 {
+                let _ = writeln!(out, "contrib {i}->{j} bits={:016x}", c.to_bits());
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "ledger_kib={} in_flight={}",
+        system.net().ledger().total_kib(),
+        system.in_flight()
+    );
+    out
+}
+
+fn build(peers: usize, hours: u64, seed: u64, schedule: FaultSchedule) -> (System, [NodeId; 3]) {
+    let trace = TraceGenConfig::quick(peers, SimDuration::from_hours(hours)).generate(seed);
+    let (setup, m) = fig6_setup(&trace, 0.25, 0.25, seed);
+    let protocol = ProtocolConfig {
+        experience_t_mib: 1.0,
+        ..ProtocolConfig::default()
+    };
+    let mut system = System::with_faults(trace, protocol, setup, seed, schedule);
+    system.enable_audit();
+    (system, m)
+}
+
+fn advance(system: &mut System, to: SimTime) {
+    system.run_until(to, SimDuration::from_hours(1), |_, _| {});
+}
+
+fn finish(system: System, m: &[NodeId; 3], label: &str, seed: u64) -> String {
+    assert_eq!(
+        system.audit_violations(),
+        &[] as &[String],
+        "{label}: invariant violations (seed {seed})"
+    );
+    let acc = system.ordering_accuracy(m);
+    format!("accuracy={}\n{}", acc.to_bits(), fingerprint(&system))
+}
+
+/// The uninterrupted reference run.
+fn straight(peers: usize, hours: u64, seed: u64, schedule: FaultSchedule) -> String {
+    let (mut system, m) = build(peers, hours, seed, schedule);
+    advance(&mut system, SimTime::from_hours(hours));
+    finish(system, &m, "straight", seed)
+}
+
+/// Checkpoint the system through the full byte encoding and bring it back.
+fn roundtrip(system: &System) -> System {
+    let bytes = system.checkpoint().into_bytes();
+    let ckpt = Checkpoint::from_bytes(bytes).expect("self-produced checkpoint parses");
+    let restored = System::restore(&ckpt).expect("self-produced checkpoint restores");
+    assert_eq!(restored.now(), system.now());
+    assert_eq!(restored.seed(), system.seed());
+    restored
+}
+
+/// Run to each resume point, checkpoint, restore (through bytes), continue
+/// to the end, and demand the straight run's exact fingerprint.
+fn assert_resume_equivalence(
+    label: &str,
+    peers: usize,
+    hours: u64,
+    seeds: &[u64],
+    mk: fn() -> FaultSchedule,
+) {
+    for &seed in seeds {
+        let reference = straight(peers, hours, seed, mk());
+        for resume_at in [hours / 3, 2 * hours / 3] {
+            let (mut system, m) = build(peers, hours, seed, mk());
+            advance(&mut system, SimTime::from_hours(resume_at));
+            let mut resumed = roundtrip(&system);
+            drop(system);
+            resumed.enable_audit();
+            advance(&mut resumed, SimTime::from_hours(hours));
+            let got = finish(resumed, &m, label, seed);
+            assert_eq!(
+                reference, got,
+                "{label}: seed {seed} resumed at {resume_at}h diverged from straight run"
+            );
+        }
+    }
+}
+
+/// A mid-strength schedule exercising loss + retry/backoff (backoff
+/// timers and the resend queue must survive the checkpoint).
+fn churn_schedule() -> FaultSchedule {
+    FaultSchedule {
+        config: FaultConfig {
+            loss: 0.15,
+            retry: Some(RetryConfig::default()),
+            ..FaultConfig::default()
+        },
+        partitions: vec![],
+        crashes: vec![],
+    }
+}
+
+/// The chaos-suite shape: latency + jitter (in-flight deliveries cross the
+/// checkpoint), burst loss, duplication, one partition, two
+/// crash-restarts, retry/backoff.
+fn chaos_schedule() -> FaultSchedule {
+    FaultSchedule {
+        config: FaultConfig {
+            base_latency_ms: 5_000,
+            jitter_spread: 1.0,
+            loss: 0.0,
+            duplicate: 0.05,
+            burst: Some(BurstLoss::with_overall_loss(0.3, 8.0)),
+            retry: Some(RetryConfig::default()),
+        },
+        partitions: vec![PartitionSpec {
+            name: "split".into(),
+            members: (0..6).map(NodeId::from_index).collect(),
+            start: SimTime::from_hours(4),
+            heal: SimTime::from_hours(8),
+        }],
+        crashes: vec![
+            CrashSpec {
+                node: NodeId::from_index(3),
+                at: SimTime::from_hours(6),
+            },
+            CrashSpec {
+                node: NodeId::from_index(9),
+                at: SimTime::from_hours(12),
+            },
+        ],
+    }
+}
+
+#[test]
+fn fig6_resume_is_byte_identical() {
+    assert_resume_equivalence("fig6", 16, 12, &[11, 23, 37], FaultSchedule::default);
+}
+
+#[test]
+fn churn_with_retry_resume_is_byte_identical() {
+    assert_resume_equivalence("churn", 14, 15, &[5, 29, 41], churn_schedule);
+}
+
+#[test]
+fn chaos_resume_is_byte_identical() {
+    assert_resume_equivalence("chaos", 18, 18, &[101, 202, 303], chaos_schedule);
+}
+
+#[test]
+fn double_resume_is_byte_identical() {
+    // Stop twice: run → ckpt → resume → ckpt → resume → end. The second
+    // checkpoint is taken by a *restored* system, so any volatile the
+    // first restore rebuilt wrongly would poison the second blob.
+    let (peers, hours, seed) = (16usize, 12u64, 11u64);
+    let reference = straight(peers, hours, seed, FaultSchedule::default());
+    let (mut system, m) = build(peers, hours, seed, FaultSchedule::default());
+    advance(&mut system, SimTime::from_hours(4));
+    let mut once = roundtrip(&system);
+    once.enable_audit();
+    advance(&mut once, SimTime::from_hours(8));
+    let mut twice = roundtrip(&once);
+    twice.enable_audit();
+    advance(&mut twice, SimTime::from_hours(hours));
+    let got = finish(twice, &m, "double-resume", seed);
+    assert_eq!(reference, got, "double resume diverged from straight run");
+}
+
+#[test]
+fn restore_on_different_thread_count_is_byte_identical() {
+    // A checkpoint written by a 1-thread run must continue identically on
+    // 4 threads, and vice versa: the pool is rebuilt from the environment
+    // on restore precisely because thread count is not simulation state.
+    let (peers, hours, seed) = (14usize, 15u64, 5u64);
+    let reference = straight(peers, hours, seed, churn_schedule());
+    for (before, after) in [(1usize, 4usize), (4, 1)] {
+        let (mut system, m) = build(peers, hours, seed, churn_schedule());
+        system.set_threads(before);
+        advance(&mut system, SimTime::from_hours(hours / 2));
+        let mut resumed = roundtrip(&system);
+        resumed.set_threads(after);
+        resumed.enable_audit();
+        advance(&mut resumed, SimTime::from_hours(hours));
+        let got = finish(resumed, &m, "cross-thread", seed);
+        assert_eq!(
+            reference, got,
+            "checkpoint written at {before} threads diverged when resumed at {after}"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_is_deterministic_and_side_effect_free() {
+    // Snapshotting twice yields identical bytes, and taking a checkpoint
+    // must not perturb the run that continues past it.
+    let (peers, hours, seed) = (16usize, 12u64, 23u64);
+    let reference = straight(peers, hours, seed, FaultSchedule::default());
+    let (mut system, m) = build(peers, hours, seed, FaultSchedule::default());
+    advance(&mut system, SimTime::from_hours(6));
+    let a = system.checkpoint();
+    let b = system.checkpoint();
+    assert_eq!(
+        a.as_bytes(),
+        b.as_bytes(),
+        "two snapshots of the same state differ"
+    );
+    advance(&mut system, SimTime::from_hours(hours));
+    let got = finish(system, &m, "ckpt-side-effect", seed);
+    assert_eq!(reference, got, "taking a checkpoint changed the run");
+}
+
+#[test]
+fn file_save_load_roundtrip_resumes_identically() {
+    let (peers, hours, seed) = (16usize, 12u64, 37u64);
+    let reference = straight(peers, hours, seed, FaultSchedule::default());
+    let (mut system, m) = build(peers, hours, seed, FaultSchedule::default());
+    advance(&mut system, SimTime::from_hours(4));
+    // rvs-lint: allow(ambient-env) -- temp_dir placement cannot affect simulation behaviour; the checkpoint bytes are what is compared
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("rvs-ckpt-diff-{}-{seed}.ckpt", std::process::id()));
+    system.checkpoint().save(&path).expect("save checkpoint");
+    let loaded = Checkpoint::load(&path).expect("load checkpoint");
+    std::fs::remove_file(&path).ok();
+    let mut resumed = System::restore(&loaded).expect("restore from file");
+    resumed.enable_audit();
+    advance(&mut resumed, SimTime::from_hours(hours));
+    let got = finish(resumed, &m, "file-roundtrip", seed);
+    assert_eq!(reference, got, "file save/load resume diverged");
+}
+
+#[test]
+fn chaos_checkpoint_mid_partition_audits_clean_after_resume() {
+    // The chaos interaction case: node 3 has crash-restarted (6h), the
+    // partition is still cut (4h–8h), deliveries are in flight. A
+    // checkpoint taken here must carry the partition state, the crashed
+    // node's wiped windows, and the in-flight term of the conservation
+    // identity — the re-enabled auditor re-checks that identity after
+    // every resumed round and must stay clean to the end.
+    let (peers, hours, seed) = (18usize, 18u64, 101u64);
+    let (mut system, m) = build(peers, hours, seed, chaos_schedule());
+    advance(&mut system, SimTime::from_hours(6));
+    let mid = system.checkpoint();
+    let info = mid.info().expect("checkpoint summarizes");
+    assert_eq!(info.seed, seed);
+    assert!(info.now >= SimTime::from_hours(6));
+    let mut resumed = System::restore(&mid).expect("mid-partition checkpoint restores");
+    resumed.enable_audit();
+    advance(&mut resumed, SimTime::from_hours(hours));
+    assert!(
+        resumed.auditor().expect("audit enabled").checks() > 0,
+        "auditor never ran after resume"
+    );
+    let reference = straight(peers, hours, seed, chaos_schedule());
+    let got = finish(resumed, &m, "chaos-mid-partition", seed);
+    assert_eq!(reference, got, "mid-partition resume diverged");
+}

@@ -1,0 +1,129 @@
+//! Property-based proofs of the *system-level* checkpoint contract, on top
+//! of the per-codec properties in `crates/checkpoint/tests/proptests.rs`:
+//!
+//! * restore → re-checkpoint is byte-identical across random small systems
+//!   (the encoding has one canonical form per state);
+//! * truncating a real checkpoint anywhere yields a typed error from
+//!   `Checkpoint::from_bytes` or `System::restore` — never a panic, never
+//!   a silently half-restored system;
+//! * flipping any bit of a real checkpoint never panics: either a typed
+//!   error surfaces, or the blob still describes a consistent system whose
+//!   re-encoding is a canonical fixed point;
+//! * version skew is a typed `WrongVersion` before any payload is trusted.
+
+use proptest::prelude::*;
+use robust_vote_sampling::faults::FaultSchedule;
+use robust_vote_sampling::scenario::experiments::vote_sampling::fig6_setup;
+use robust_vote_sampling::scenario::{Checkpoint, ProtocolConfig, System};
+use rvs_checkpoint::DecodeError;
+use rvs_sim::{SimDuration, SimTime};
+use rvs_trace::TraceGenConfig;
+use std::sync::OnceLock;
+
+fn build(peers: usize, hours: u64, seed: u64) -> System {
+    let trace = TraceGenConfig::quick(peers, SimDuration::from_hours(hours)).generate(seed);
+    let (setup, _m) = fig6_setup(&trace, 0.25, 0.25, seed);
+    let protocol = ProtocolConfig {
+        experience_t_mib: 1.0,
+        ..ProtocolConfig::default()
+    };
+    System::with_faults(trace, protocol, setup, seed, FaultSchedule::default())
+}
+
+/// One mid-run checkpoint, shared by the mutation properties so the
+/// (comparatively expensive) simulation runs once.
+fn base_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut system = build(10, 6, 7);
+        system.run_until(
+            SimTime::from_hours(3),
+            SimDuration::from_hours(1),
+            |_, _| {},
+        );
+        system.checkpoint().into_bytes()
+    })
+}
+
+/// Decode + restore, all the way to a `System`, with typed errors.
+fn try_restore(bytes: &[u8]) -> Result<System, DecodeError> {
+    let ckpt = Checkpoint::from_bytes(bytes.to_vec())?;
+    System::restore(&ckpt)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Restoring a checkpoint and immediately re-encoding it reproduces
+    /// the original bytes exactly, across random small systems and
+    /// checkpoint times.
+    #[test]
+    fn restore_reencode_is_byte_identical(
+        seed in 1u64..500,
+        peers in 6usize..11,
+        stop_frac in 0.25f64..0.95,
+    ) {
+        let hours = 4u64;
+        let mut system = build(peers, hours, seed);
+        let stop = SimTime::from_secs((hours as f64 * 3600.0 * stop_frac) as u64);
+        system.run_until(stop, SimDuration::from_hours(1), |_, _| {});
+        let bytes = system.checkpoint().into_bytes();
+        let restored = try_restore(&bytes)
+            .map_err(|e| TestCaseError::fail(format!("self-produced checkpoint failed: {e}")))?;
+        prop_assert_eq!(restored.checkpoint().into_bytes(), bytes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any truncation of a real checkpoint is rejected with a typed error.
+    #[test]
+    fn truncation_never_panics_and_errors(frac in 0.0f64..1.0) {
+        let bytes = base_bytes();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assume!(cut < bytes.len());
+        prop_assert!(
+            try_restore(&bytes[..cut]).is_err(),
+            "checkpoint truncated to {} of {} bytes restored cleanly",
+            cut,
+            bytes.len()
+        );
+    }
+
+    /// A single bit-flip anywhere in a real checkpoint never panics. When
+    /// the damaged blob still restores (the flip landed in a value any
+    /// system could hold), its re-encoding must be a canonical fixed
+    /// point: restore → checkpoint → restore → checkpoint is byte-stable.
+    #[test]
+    fn bit_flip_never_panics(pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut bytes = base_bytes().to_vec();
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        if let Ok(restored) = try_restore(&bytes) {
+            let canon = restored.checkpoint().into_bytes();
+            let again = try_restore(&canon)
+                .map_err(|e| TestCaseError::fail(format!("canonical re-restore failed: {e}")))?;
+            prop_assert_eq!(again.checkpoint().into_bytes(), canon);
+        }
+    }
+
+    /// A version-skewed header is a typed `WrongVersion` before any of the
+    /// payload is trusted, and the strict `info()` reports the same.
+    #[test]
+    fn wrong_version_is_typed(version in 0u32..u32::MAX) {
+        prop_assume!(version != rvs_checkpoint::FORMAT_VERSION);
+        let mut bytes = base_bytes().to_vec();
+        bytes[8..12].copy_from_slice(&version.to_le_bytes());
+        match try_restore(&bytes) {
+            Ok(_) => return Err(TestCaseError::fail("skewed version restored")),
+            Err(err) => prop_assert_eq!(
+                err,
+                DecodeError::WrongVersion {
+                    found: version,
+                    supported: rvs_checkpoint::FORMAT_VERSION
+                }
+            ),
+        }
+    }
+}
