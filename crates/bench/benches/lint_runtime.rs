@@ -1,0 +1,61 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented public items
+
+//! Full-workspace `rvs-lint` runtime: how long the whole static-analysis
+//! pass (walk + lex + parse + token rules + structural rules +
+//! cross-checks) takes over this repository. The lint runs on every
+//! `cargo test` via the tier-1 gate and on every CI job, so its runtime
+//! is developer-loop latency; this bench keeps it visible before it
+//! quietly grows past "instant". A single-file case isolates per-file
+//! cost (lex + parse + all rule families) from walk and I/O.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::path::{Path, PathBuf};
+
+/// The workspace root, resolved from this crate's manifest directory.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+fn bench_lint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lint_runtime");
+    group.sample_size(10);
+    let root = workspace_root();
+
+    // Sanity: a broken root would make the timing meaningless.
+    let report = rvs_lint::run(&root);
+    assert_eq!(
+        report.unjustified_count(),
+        0,
+        "bench precondition: the workspace must be lint-clean"
+    );
+    let files = rvs_lint::lintable_files(&root);
+    assert!(
+        files.len() > 100,
+        "walk found too few files: {}",
+        files.len()
+    );
+
+    group.bench_function("full_workspace", |b| {
+        b.iter(|| black_box(rvs_lint::run(&root)).findings.len())
+    });
+
+    // Per-file cost on the largest source the walk visits, with I/O and
+    // the walk itself excluded.
+    let biggest = files
+        .iter()
+        .filter_map(|rel| {
+            std::fs::read_to_string(root.join(rel))
+                .ok()
+                .map(|src| (rel.clone(), src))
+        })
+        .max_by_key(|(_, src)| src.len())
+        .expect("at least one readable source file");
+    group.bench_function("largest_single_file", |b| {
+        b.iter(|| black_box(rvs_lint::check_source(&biggest.0, &biggest.1)).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_lint);
+criterion_main!(benches);

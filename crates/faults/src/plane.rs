@@ -91,6 +91,7 @@ impl FaultLane {
             counters.partitioned += 1;
             return SendOutcome::DropPartitioned;
         }
+        // rvs-lint: allow(rng-branch) -- guard depends only on immutable config (the documented zero-draws-when-inert contract), so draw order is fixed per run
         if cfg.loss > 0.0 && self.rng.chance(cfg.loss) {
             return SendOutcome::DropIndependent;
         }
@@ -107,6 +108,7 @@ impl FaultLane {
             } else {
                 burst.loss_good
             };
+            // rvs-lint: allow(rng-branch) -- guard reads config-derived loss rates; burst-state draws above already ran, so the stream position is deterministic
             if p_loss > 0.0 && self.rng.chance(p_loss) {
                 counters.dropped_burst += 1;
                 return SendOutcome::DropBurst;
@@ -116,6 +118,7 @@ impl FaultLane {
         if !delay.is_zero() {
             counters.delayed += 1;
         }
+        // rvs-lint: allow(rng-branch) -- guard depends only on immutable config, same zero-draws-when-inert contract as the loss gate
         let duplicate_delay = if cfg.duplicate > 0.0 && self.rng.chance(cfg.duplicate) {
             counters.duplicated += 1;
             Some(self.draw_latency(cfg))
@@ -139,6 +142,7 @@ impl FaultLane {
             return SimDuration::from_millis(base);
         }
         let ms = self.rng.jitter(base as f64, cfg.jitter_spread);
+        // rvs-lint: allow(float-total-order) -- jitter is base·uniform over a finite range, so the clamp never sees NaN
         SimDuration::from_millis(ms.max(0.0).round() as u64)
     }
 }
@@ -316,6 +320,7 @@ impl rvs_checkpoint::Persist for Partition {
 /// Stable binary encoding: config, lane-base RNG, lanes, partitions,
 /// counters. The [`PartitionView`] is volatile by design — it is a pure
 /// projection of the partitions, rebuilt on restore.
+// rvs-lint: allow(persist-coverage) -- `view` is a pure projection of `partitions`, rebuilt by restore below; persisting it would store the same data twice
 impl rvs_checkpoint::Persist for FaultPlane {
     fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
         self.cfg.persist(enc);

@@ -30,17 +30,22 @@ fn main() -> ExitCode {
             "--deny-findings" => deny = true,
             "--help" | "-h" => {
                 println!(
-                    "rvs-lint: static analysis for determinism, panic-surface, telemetry and \
-                     config-drift invariants\n\n\
+                    "rvs-lint: static analysis for determinism, panic-surface, structural \
+                     (Persist/RNG/float-order), telemetry and config-drift invariants\n\n\
                      USAGE: rvs-lint [--workspace-root PATH] [--json] [--deny-findings]\n\n\
-                     Rules: {}  (cross-checks: telemetry-coverage, config-drift)\n\
+                     Token rules: {}\n\
+                     Structural rules: {}\n\
+                     Cross-checks: {}\n\
+                     Suppression hygiene: unused-suppression\n\
                      Exceptions: `// rvs-lint: allow(<rule>) -- <justification>` on or above the \
                      line, or `allow-file(...)` anywhere in the file.",
                     rvs_lint::TOKEN_RULES
                         .iter()
                         .map(|r| r.id)
                         .collect::<Vec<_>>()
-                        .join(", ")
+                        .join(", "),
+                    rvs_lint::STRUCTURAL_RULES.join(", "),
+                    rvs_lint::rules::CROSS_CHECK_RULES.join(", "),
                 );
                 return ExitCode::SUCCESS;
             }

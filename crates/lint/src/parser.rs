@@ -1,0 +1,843 @@
+//! Recursive-descent item-model parser over the lexer's token stream.
+//!
+//! The token rules in [`crate::rules`] only need flat sequences, but the
+//! structural rules ([`crate::structural`]) must know *what* a token
+//! belongs to: which struct declares which fields, which `impl Persist`
+//! block covers which type, where a method body starts and ends, and
+//! which spans are `if` conditions or `match` guards. This module builds
+//! exactly that item model — no expression parsing, no type resolution,
+//! just the item skeleton Rust's grammar makes cheap to recover:
+//!
+//! * `struct Name { field: Type, ... }` with field names, type tokens,
+//!   and the preceding `#[derive(...)]` list (tuple/unit structs and
+//!   `macro_rules!` fragments like `struct $name` are skipped);
+//! * `enum Name { Variant, ... }` with variant names;
+//! * `impl [<G>] [Trait for] Type { fn m(...) { ... } ... }` with the
+//!   trait's last path segment, the self type's head identifier, and
+//!   each method's body as a token range;
+//! * every `fn` with its signature and body ranges;
+//! * conditional regions: `if` conditions and `match` guards, the spans
+//!   where the RNG-discipline rules look for short-circuited draws.
+//!
+//! Bodies are represented as `Range<usize>` indices into the caller's
+//! token slice, so rule code can scan them without copying.
+
+use crate::lexer::Tok;
+use std::ops::Range;
+
+/// A `struct` item with named fields.
+#[derive(Debug)]
+pub struct StructItem {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// `(field name, type tokens)` in declaration order. Type tokens are
+    /// empty for the field-name-only shape used inside the telemetry
+    /// `counter_block!` macro.
+    pub fields: Vec<(String, Vec<String>)>,
+    /// Identifiers from the immediately preceding `#[derive(...)]`.
+    pub derives: Vec<String>,
+}
+
+/// An `enum` item.
+#[derive(Debug)]
+pub struct EnumItem {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// Variant names in declaration order.
+    pub variants: Vec<String>,
+}
+
+/// A `fn` item (free function or impl method).
+#[derive(Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` token.
+    pub line: u32,
+    /// Token range of the signature: from the `fn` token up to (not
+    /// including) the body's `{`.
+    pub sig: Range<usize>,
+    /// Token range of the body, including both braces. Empty for
+    /// body-less declarations (trait method signatures).
+    pub body: Range<usize>,
+}
+
+/// An `impl` block.
+#[derive(Debug)]
+pub struct ImplItem {
+    /// 1-based line of the `impl` token.
+    pub line: u32,
+    /// Last path segment of the implemented trait (`Persist` for both
+    /// `impl Persist for T` and `impl rvs_checkpoint::Persist for T`);
+    /// `None` for inherent impls.
+    pub trait_name: Option<String>,
+    /// Head identifier of the self type (`Engine` for `Engine<E>`,
+    /// `SwarmSpec` for `rvs_trace::SwarmSpec`). `None` when the type is
+    /// not a plain path — tuples, references, or `macro_rules!` fragments
+    /// like `$name`.
+    pub type_name: Option<String>,
+    /// Methods declared in the impl body.
+    pub methods: Vec<FnItem>,
+    /// Token range of the impl body, including both braces.
+    pub body: Range<usize>,
+}
+
+/// Everything the item parser recovers from one file.
+#[derive(Debug, Default)]
+pub struct ItemModel {
+    /// Named-field structs (tuple/unit structs are skipped).
+    pub structs: Vec<StructItem>,
+    /// Enums with their variant names.
+    pub enums: Vec<EnumItem>,
+    /// Impl blocks with their methods.
+    pub impls: Vec<ImplItem>,
+}
+
+impl ItemModel {
+    /// The named-field struct called `name`, if declared in this file.
+    pub fn struct_named(&self, name: &str) -> Option<&StructItem> {
+        self.structs.iter().find(|s| s.name == name)
+    }
+
+    /// The enum called `name`, if declared in this file.
+    pub fn enum_named(&self, name: &str) -> Option<&EnumItem> {
+        self.enums.iter().find(|e| e.name == name)
+    }
+}
+
+/// Why a conditional region exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CondKind {
+    /// The condition of an `if` (scanning stopped at the body `{`).
+    IfCond,
+    /// A `match` arm guard (scanning stopped at `=>`).
+    MatchGuard,
+}
+
+/// A span of tokens evaluated conditionally-or-short-circuited: an `if`
+/// condition or a `match` guard.
+#[derive(Debug)]
+pub struct CondRegion {
+    /// Token range of the condition expression (excludes the `if` itself
+    /// and the terminating `{` / `=>`).
+    pub tokens: Range<usize>,
+    /// Which construct produced the region.
+    pub kind: CondKind,
+}
+
+/// Parse the item model out of a token stream.
+pub fn parse_items(toks: &[Tok]) -> ItemModel {
+    let mut model = ItemModel::default();
+    let mut i = 0;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "struct" => {
+                if let Some((item, end)) = parse_struct(toks, i) {
+                    model.structs.push(item);
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            "enum" => {
+                if let Some((item, end)) = parse_enum(toks, i) {
+                    model.enums.push(item);
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            "impl" => {
+                if let Some((item, end)) = parse_impl(toks, i) {
+                    model.impls.push(item);
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    model
+}
+
+/// Is `text` a plain identifier (starts with a letter or `_`)?
+fn is_ident(text: &str) -> bool {
+    text.chars()
+        .next()
+        .map(|c| c.is_alphabetic() || c == '_')
+        .unwrap_or(false)
+}
+
+/// Skip a balanced `<...>` group starting at the `<` at `i`; returns the
+/// index just past the closing `>`. `->` arrows inside (closure bounds
+/// like `FnMut(...) -> T`) do not close the group.
+fn skip_angles(toks: &[Tok], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "<" => depth += 1,
+            ">" if i > 0 && toks[i - 1].text == "-" => {}
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            ";" | "{" => return i, // malformed: bail before swallowing items
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Find the index of the `}` matching the `{` at `open`.
+fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Parse `struct Name { ... }` at `i` (pointing at `struct`). Returns the
+/// item and the index just past the body. Tuple/unit structs and macro
+/// fragments return `None`.
+fn parse_struct(toks: &[Tok], i: usize) -> Option<(StructItem, usize)> {
+    let name_tok = toks.get(i + 1)?;
+    if !is_ident(&name_tok.text) {
+        return None;
+    }
+    // Find the body opener; `;` or `(` first means unit/tuple struct.
+    let mut j = i + 2;
+    if toks.get(j).map(|t| t.text.as_str()) == Some("<") {
+        j = skip_angles(toks, j);
+    }
+    loop {
+        match toks.get(j).map(|t| t.text.as_str()) {
+            Some("{") => break,
+            Some(";") | Some("(") | None => return None,
+            _ => j += 1,
+        }
+    }
+    let derives = derives_before(toks, i);
+    let (fields, end) = parse_fields(toks, j);
+    Some((
+        StructItem {
+            name: name_tok.text.clone(),
+            line: name_tok.line,
+            fields,
+            derives,
+        },
+        end,
+    ))
+}
+
+/// Identifiers inside `#[derive(...)]` attributes directly preceding the
+/// token at `item_idx` (possibly with other attributes or `pub` between).
+fn derives_before(toks: &[Tok], item_idx: usize) -> Vec<String> {
+    let mut derives = Vec::new();
+    let mut k = item_idx;
+    while k > 0 {
+        let prev = &toks[k - 1].text;
+        if prev == "pub" {
+            k -= 1;
+            continue;
+        }
+        if prev == "]" {
+            // Scan back to the matching `[` and its `#`.
+            let mut depth = 0;
+            let mut m = k - 1;
+            loop {
+                match toks[m].text.as_str() {
+                    "]" => depth += 1,
+                    "[" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if m == 0 {
+                    return derives;
+                }
+                m -= 1;
+            }
+            if m == 0 || toks[m - 1].text != "#" {
+                return derives;
+            }
+            if toks.get(m + 1).map(|t| t.text.as_str()) == Some("derive") {
+                for t in &toks[m + 2..k - 1] {
+                    if is_ident(&t.text) {
+                        derives.push(t.text.clone());
+                    }
+                }
+            }
+            k = m - 1;
+            continue;
+        }
+        break;
+    }
+    derives
+}
+
+/// Parse the field entries of a struct body whose `{` is at `open`,
+/// private and `pub`/`pub(crate)` alike. Returns the fields and the index
+/// just past the closing `}`. Fields may be typeless (`pub x,`) — the
+/// shape the telemetry `counter_block!` macro takes.
+fn parse_fields(toks: &[Tok], open: usize) -> (Vec<(String, Vec<String>)>, usize) {
+    let mut fields = Vec::new();
+    let mut i = open + 1;
+    loop {
+        let Some(tok) = toks.get(i) else {
+            return (fields, i);
+        };
+        match tok.text.as_str() {
+            "}" => return (fields, i + 1),
+            "," => {
+                i += 1;
+                continue;
+            }
+            "#" if toks.get(i + 1).map(|t| t.text.as_str()) == Some("[") => {
+                // Skip attributes on fields.
+                let mut depth = 0;
+                i += 1;
+                while i < toks.len() {
+                    match toks[i].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+            "pub" => {
+                i += 1;
+                // `pub(crate)` / `pub(super)` visibility scope.
+                if toks.get(i).map(|t| t.text.as_str()) == Some("(") {
+                    let mut depth = 0;
+                    while i < toks.len() {
+                        match toks[i].text.as_str() {
+                            "(" => depth += 1,
+                            ")" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    i += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            t if is_ident(t) => {
+                let fname = t.to_string();
+                let mut ty = Vec::new();
+                let mut j = i + 1;
+                match toks.get(j).map(|t| t.text.as_str()) {
+                    Some(":") => {
+                        // Consume the type until a `,` or `}` at depth 0.
+                        j += 1;
+                        let mut angle = 0i32;
+                        let mut paren = 0i32;
+                        while j < toks.len() {
+                            match toks[j].text.as_str() {
+                                "<" => angle += 1,
+                                ">" => angle -= 1,
+                                "(" | "[" => paren += 1,
+                                ")" | "]" => paren -= 1,
+                                "," if angle <= 0 && paren <= 0 => break,
+                                "}" if angle <= 0 && paren <= 0 => break,
+                                _ => {}
+                            }
+                            ty.push(toks[j].text.clone());
+                            j += 1;
+                        }
+                    }
+                    Some(",") | Some("}") => {} // typeless counter_block field
+                    _ => {
+                        // Not a field (macro fragment or similar): skip to
+                        // the next `,` at depth 0 or the closing `}`.
+                        let mut depth = 0i32;
+                        while j < toks.len() {
+                            match toks[j].text.as_str() {
+                                "{" | "(" | "[" | "<" => depth += 1,
+                                ")" | "]" | ">" => depth -= 1,
+                                "}" if depth == 0 => break,
+                                "}" => depth -= 1,
+                                "," if depth <= 0 => break,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        i = j;
+                        continue;
+                    }
+                }
+                fields.push((fname, ty));
+                i = j;
+            }
+            _ => {
+                // Unexpected token (e.g. `$` fragment): skip it.
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Parse `enum Name { Variant, Variant(..), Variant { .. }, ... }` at `i`
+/// (pointing at `enum`).
+fn parse_enum(toks: &[Tok], i: usize) -> Option<(EnumItem, usize)> {
+    let name_tok = toks.get(i + 1)?;
+    if !is_ident(&name_tok.text) {
+        return None;
+    }
+    let mut j = i + 2;
+    if toks.get(j).map(|t| t.text.as_str()) == Some("<") {
+        j = skip_angles(toks, j);
+    }
+    while j < toks.len() && toks[j].text != "{" {
+        if toks[j].text == ";" {
+            return None;
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let close = matching_brace(toks, j);
+    let mut variants = Vec::new();
+    // A variant name is the first identifier at depth 1 after `{` or a
+    // depth-1 `,`; everything else (payloads, discriminants, attributes)
+    // is skipped by depth tracking.
+    let mut k = j + 1;
+    let mut depth = 1i32;
+    let mut expect_variant = true;
+    while k < close {
+        match toks[k].text.as_str() {
+            "{" | "(" | "[" => depth += 1,
+            "}" | ")" | "]" => depth -= 1,
+            "," if depth == 1 => expect_variant = true,
+            "#" if depth == 1 => {} // attribute: its [..] group bumps depth
+            t if depth == 1 && expect_variant && is_ident(t) => {
+                variants.push(t.to_string());
+                expect_variant = false;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    Some((
+        EnumItem {
+            name: name_tok.text.clone(),
+            line: name_tok.line,
+            variants,
+        },
+        close + 1,
+    ))
+}
+
+/// Parse one path (`a::b::C<...>`) starting at `i`. Returns the last
+/// plain segment (or `None` when the path starts with a non-identifier,
+/// e.g. a macro fragment `$name`, a tuple `(A, B)`, or a reference) and
+/// the index just past the path.
+fn parse_path(toks: &[Tok], mut i: usize) -> (Option<String>, usize) {
+    let mut last = None;
+    loop {
+        let Some(tok) = toks.get(i) else {
+            return (last, i);
+        };
+        if !is_ident(&tok.text) {
+            return (last, i);
+        }
+        last = Some(tok.text.clone());
+        i += 1;
+        if toks.get(i).map(|t| t.text.as_str()) == Some("<") {
+            i = skip_angles(toks, i);
+        }
+        if toks.get(i).map(|t| t.text.as_str()) == Some("::") {
+            i += 1;
+            continue;
+        }
+        return (last, i);
+    }
+}
+
+/// Parse `impl [<G>] [TraitPath for] TypePath [where ...] { ... }` at `i`
+/// (pointing at `impl`).
+fn parse_impl(toks: &[Tok], i: usize) -> Option<(ImplItem, usize)> {
+    let line = toks[i].line;
+    let mut j = i + 1;
+    if toks.get(j).map(|t| t.text.as_str()) == Some("<") {
+        j = skip_angles(toks, j);
+    }
+    let (first_path, after_first) = parse_path(toks, j);
+    let mut fragment = toks.get(j).map(|t| t.text == "$").unwrap_or(false);
+    j = after_first;
+    let (trait_name, type_name) = if toks.get(j).map(|t| t.text.as_str()) == Some("for") {
+        j += 1;
+        fragment = toks.get(j).map(|t| t.text == "$").unwrap_or(false);
+        let (ty, after_ty) = parse_path(toks, j);
+        j = after_ty;
+        (first_path, if fragment { None } else { ty })
+    } else {
+        (None, if fragment { None } else { first_path })
+    };
+    // Skip a `where` clause (no braces before the body can appear in it).
+    while j < toks.len() && toks[j].text != "{" {
+        if toks[j].text == ";" {
+            return None;
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let open = j;
+    let close = matching_brace(toks, open);
+
+    // Methods: every `fn` at impl-body depth 1.
+    let mut methods = Vec::new();
+    let mut k = open + 1;
+    let mut depth = 1i32;
+    while k < close {
+        match toks[k].text.as_str() {
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            "fn" if depth == 1 => {
+                if let Some(m) = parse_fn(toks, k, close) {
+                    k = m.body.end.max(k + 1);
+                    methods.push(m);
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    Some((
+        ImplItem {
+            line,
+            trait_name,
+            type_name,
+            methods,
+            body: open..close + 1,
+        },
+        close + 1,
+    ))
+}
+
+/// Parse `fn name(...) [-> T] { ... }` at `i` (pointing at `fn`), not
+/// scanning past `limit`.
+fn parse_fn(toks: &[Tok], i: usize, limit: usize) -> Option<FnItem> {
+    let name_tok = toks.get(i + 1)?;
+    if !is_ident(&name_tok.text) {
+        return None;
+    }
+    let mut j = i + 2;
+    while j < limit && toks[j].text != "{" {
+        if toks[j].text == ";" {
+            // Body-less declaration (trait signature).
+            return Some(FnItem {
+                name: name_tok.text.clone(),
+                line: toks[i].line,
+                sig: i..j,
+                body: j..j,
+            });
+        }
+        j += 1;
+    }
+    if j >= limit {
+        return None;
+    }
+    let close = matching_brace(toks, j);
+    Some(FnItem {
+        name: name_tok.text.clone(),
+        line: toks[i].line,
+        sig: i..j,
+        body: j..close + 1,
+    })
+}
+
+/// Find every conditional region: `if` conditions (from the `if` to its
+/// body `{`) and `match` guards (an `if` whose scan reaches `=>` first).
+///
+/// The scan is token-local and deliberately conservative: a closure body
+/// or `if let` struct pattern inside the condition ends the region early
+/// (under-approximating, never over-approximating the flagged span).
+pub fn cond_regions(toks: &[Tok]) -> Vec<CondRegion> {
+    let mut out = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.text != "if" {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth <= 0 => {
+                    out.push(CondRegion {
+                        tokens: i + 1..j,
+                        kind: CondKind::IfCond,
+                    });
+                    break;
+                }
+                "=" if depth <= 0
+                    && toks.get(j + 1).map(|t| t.text.as_str()) == Some(">")
+                    && toks.get(j.wrapping_sub(1)).map(|t| t.text.as_str()) != Some("=")
+                    && toks.get(j.wrapping_sub(1)).map(|t| t.text.as_str()) != Some("!")
+                    && toks.get(j.wrapping_sub(1)).map(|t| t.text.as_str()) != Some("<")
+                    && toks.get(j.wrapping_sub(1)).map(|t| t.text.as_str()) != Some(">") =>
+                {
+                    out.push(CondRegion {
+                        tokens: i + 1..j,
+                        kind: CondKind::MatchGuard,
+                    });
+                    break;
+                }
+                ";" => break, // malformed / `if` in macro fragment: give up
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn model(src: &str) -> ItemModel {
+        parse_items(&lex(src).toks)
+    }
+
+    #[test]
+    fn parses_typed_and_typeless_structs() {
+        let src = "
+            #[derive(Debug, Serialize)]
+            pub struct Snapshot { pub a: Foo, pub m: BTreeMap<String, u64>, }
+            pub struct Counters { pub x, pub y, }
+        ";
+        let m = model(src);
+        assert_eq!(m.structs.len(), 2);
+        assert_eq!(m.structs[0].name, "Snapshot");
+        assert_eq!(m.structs[0].fields.len(), 2);
+        assert_eq!(m.structs[0].fields[0].0, "a");
+        assert_eq!(m.structs[0].fields[1].0, "m");
+        assert!(m.structs[0].derives.iter().any(|d| d == "Serialize"));
+        assert_eq!(m.structs[1].name, "Counters");
+        assert!(m.structs[1].fields.iter().all(|(_, ty)| ty.is_empty()));
+    }
+
+    #[test]
+    fn private_and_scoped_fields_parse() {
+        let m = model(
+            "pub struct FaultPlane { cfg: FaultConfig, pub(crate) lanes: Vec<FaultLane>, pub view: PartitionView }",
+        );
+        let names: Vec<&str> = m.structs[0]
+            .fields
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(names, vec!["cfg", "lanes", "view"]);
+        assert_eq!(m.structs[0].fields[0].1, vec!["FaultConfig"]);
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_are_skipped() {
+        let m = model("pub struct Wrapper(u64);\npub struct Marker;\nstruct S { pub f: u8 }");
+        assert_eq!(m.structs.len(), 1);
+        assert_eq!(m.structs[0].name, "S");
+    }
+
+    #[test]
+    fn generic_struct_fields_parse() {
+        let m = model("pub struct Engine<E: Event> { pub now: SimTime, pub queue: EventQueue<E>, pub processed: u64 }");
+        assert_eq!(m.structs[0].name, "Engine");
+        let names: Vec<&str> = m.structs[0]
+            .fields
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(names, vec!["now", "queue", "processed"]);
+    }
+
+    #[test]
+    fn enums_list_variants() {
+        let src = "
+            pub enum Pss { Oracle(OraclePss), Newscast(NewscastPss) }
+            enum Kind { Online, Offline, StartDownload { swarm: SwarmId }, Tagged = 4 }
+        ";
+        let m = model(src);
+        assert_eq!(m.enums.len(), 2);
+        assert_eq!(m.enums[0].variants, vec!["Oracle", "Newscast"]);
+        assert_eq!(
+            m.enums[1].variants,
+            vec!["Online", "Offline", "StartDownload", "Tagged"]
+        );
+    }
+
+    #[test]
+    fn impl_blocks_carry_trait_type_and_methods() {
+        let src = "
+            impl rvs_checkpoint::Persist for VoteSamplingConfig {
+                fn persist(&self, enc: &mut Encoder) { enc.usize(self.b_min); }
+                fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+                    Ok(VoteSamplingConfig { b_min: dec.usize()? })
+                }
+            }
+            impl BitTorrentNet { pub fn tick(&mut self) {} }
+        ";
+        let m = model(src);
+        assert_eq!(m.impls.len(), 2);
+        let p = &m.impls[0];
+        assert_eq!(p.trait_name.as_deref(), Some("Persist"));
+        assert_eq!(p.type_name.as_deref(), Some("VoteSamplingConfig"));
+        assert_eq!(p.methods.len(), 2);
+        assert_eq!(p.methods[0].name, "persist");
+        assert_eq!(p.methods[1].name, "restore");
+        let inh = &m.impls[1];
+        assert_eq!(inh.trait_name, None);
+        assert_eq!(inh.type_name.as_deref(), Some("BitTorrentNet"));
+        assert_eq!(inh.methods[0].name, "tick");
+    }
+
+    #[test]
+    fn generic_impl_resolves_head_type() {
+        let src = "
+            impl<E: rvs_checkpoint::Persist> rvs_checkpoint::Persist for Engine<E> {
+                fn persist(&self, enc: &mut Encoder) { self.now.persist(enc); }
+            }
+        ";
+        let m = model(src);
+        assert_eq!(m.impls[0].trait_name.as_deref(), Some("Persist"));
+        assert_eq!(m.impls[0].type_name.as_deref(), Some("Engine"));
+    }
+
+    #[test]
+    fn macro_fragment_impls_have_no_type() {
+        let src = "
+            macro_rules! persist_prim {
+                ($t:ty) => {
+                    impl Persist for $t {
+                        fn persist(&self, enc: &mut Encoder) { enc.put(*self); }
+                    }
+                };
+            }
+            impl<A: Persist, B: Persist> Persist for (A, B) {
+                fn persist(&self, enc: &mut Encoder) {}
+            }
+        ";
+        let m = model(src);
+        assert!(m.impls.iter().all(|i| i.type_name.is_none()), "{m:?}");
+    }
+
+    #[test]
+    fn qualified_self_type_uses_last_segment() {
+        let m = model("impl Persist for rvs_trace::SwarmSpec { fn persist(&self) {} }");
+        assert_eq!(m.impls[0].type_name.as_deref(), Some("SwarmSpec"));
+    }
+
+    #[test]
+    fn method_bodies_are_token_ranges() {
+        let src = "impl S { fn a(&self) { x(); } fn b(&self) { y(); } }";
+        let toks = lex(src).toks;
+        let m = parse_items(&toks);
+        let a = &m.impls[0].methods[0];
+        let body: Vec<&str> = toks[a.body.clone()]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(body, vec!["{", "x", "(", ")", ";", "}"]);
+        assert_eq!(m.impls[0].methods[1].name, "b");
+    }
+
+    #[test]
+    fn cond_regions_find_if_and_guards() {
+        let src = "
+            fn f(x: u32, rng: &mut DetRng) -> u32 {
+                if x > 0 && rng.chance(0.5) { return 1; }
+                match x {
+                    n if rng.below(n as u64) == 0 => 2,
+                    _ => 3,
+                }
+            }
+        ";
+        let toks = lex(src).toks;
+        let regions = cond_regions(&toks);
+        assert_eq!(regions.len(), 2, "{regions:?}");
+        assert_eq!(regions[0].kind, CondKind::IfCond);
+        let r0: Vec<&str> = toks[regions[0].tokens.clone()]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(r0.contains(&"chance"));
+        assert_eq!(regions[1].kind, CondKind::MatchGuard);
+        let r1: Vec<&str> = toks[regions[1].tokens.clone()]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(r1.contains(&"below"));
+    }
+
+    #[test]
+    fn if_let_with_struct_pattern_ends_region_early() {
+        // The `{` of the pattern closes the region — conservative, never
+        // flags past what was scanned.
+        let src = "fn f() { if let Kind::Start { swarm } = k { g(); } }";
+        let toks = lex(src).toks;
+        let regions = cond_regions(&toks);
+        assert_eq!(regions[0].kind, CondKind::IfCond);
+        let r: Vec<&str> = toks[regions[0].tokens.clone()]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(!r.contains(&"g"));
+    }
+
+    #[test]
+    fn comparison_operators_do_not_end_guard_scan() {
+        // `>=` and `=>` share a token pair boundary; only a real `=>`
+        // terminates the guard region.
+        let src = "fn f() { match x { n if n >= 3 && r.chance(0.1) => 1, _ => 0 } }";
+        let toks = lex(src).toks;
+        let regions = cond_regions(&toks);
+        assert_eq!(regions.len(), 1);
+        let r: Vec<&str> = toks[regions[0].tokens.clone()]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(r.contains(&"chance"), "{r:?}");
+    }
+}

@@ -8,7 +8,6 @@
 
 use crate::lexer::{self, Annotation};
 use crate::report::Finding;
-use std::collections::BTreeMap;
 
 /// Crates holding protocol logic whose runs must be bit-reproducible. The
 /// determinism and panic-surface rules are strictest here.
@@ -128,11 +127,18 @@ pub const TOKEN_RULES: &[TokenRule] = &[
 ];
 
 /// Rule ids that exist only as cross-file checks (valid in annotations).
-pub const CROSS_CHECK_RULES: &[&str] = &["telemetry-coverage", "config-drift", "threading-config"];
+pub const CROSS_CHECK_RULES: &[&str] = &[
+    "telemetry-coverage",
+    "config-drift",
+    "threading-config",
+    "stale-metadata",
+];
 
-/// Is `rule` a known rule id (token or cross-check)?
+/// Is `rule` a known rule id (token, structural, or cross-check)?
 pub fn known_rule(rule: &str) -> bool {
-    TOKEN_RULES.iter().any(|r| r.id == rule) || CROSS_CHECK_RULES.contains(&rule)
+    TOKEN_RULES.iter().any(|r| r.id == rule)
+        || CROSS_CHECK_RULES.contains(&rule)
+        || crate::structural::STRUCTURAL_RULES.contains(&rule)
 }
 
 /// How a file is classified before rules run.
@@ -167,80 +173,135 @@ pub fn classify(rel_path: &str) -> FileClass {
     }
 }
 
-/// Suppression state assembled from a file's annotations.
-struct Allows {
-    /// rule -> justification, file-wide.
-    file: BTreeMap<String, String>,
-    /// (rule, line) -> justification; an annotation on line L covers
-    /// findings on lines L and L+1.
-    lines: BTreeMap<(String, u32), String>,
+/// One `allow(...)` grant: a single rule from a single annotation, plus a
+/// used-flag so suppressions that never suppress anything can themselves be
+/// reported (`unused-suppression`).
+struct Grant {
+    rule: String,
+    /// Annotation line. Line-scoped grants cover findings on this line and
+    /// the next; file-scoped grants cover the whole file.
+    line: u32,
+    file_scoped: bool,
+    justification: String,
+    used: bool,
 }
 
-fn collect_allows(
-    rel_path: &str,
-    annotations: &[Annotation],
-    findings: &mut Vec<Finding>,
-) -> Allows {
-    let mut allows = Allows {
-        file: BTreeMap::new(),
-        lines: BTreeMap::new(),
-    };
-    for a in annotations {
-        if let Some(err) = &a.error {
-            findings.push(Finding::new(
-                "lint-annotation",
-                rel_path,
-                a.line,
-                err.clone(),
-            ));
-            continue;
-        }
-        if a.justification.is_none() {
-            findings.push(Finding::new(
-                "lint-annotation",
-                rel_path,
-                a.line,
-                "rvs-lint allow annotation is missing its `-- <justification>`; every exception \
-                 must say why it is sound"
-                    .to_string(),
-            ));
-            continue;
-        }
-        let just = a.justification.clone().unwrap_or_default();
-        for rule in &a.rules {
-            if !known_rule(rule) {
+/// Suppression state assembled from a file's annotations, shared by the
+/// token and structural rule engines so usage is tracked across both.
+pub(crate) struct Suppressions {
+    grants: Vec<Grant>,
+}
+
+impl Suppressions {
+    fn collect(rel_path: &str, annotations: &[Annotation], findings: &mut Vec<Finding>) -> Self {
+        let mut grants = Vec::new();
+        for a in annotations {
+            if let Some(err) = &a.error {
                 findings.push(Finding::new(
                     "lint-annotation",
                     rel_path,
                     a.line,
-                    format!("unknown rule `{rule}` in rvs-lint allow annotation"),
+                    err.clone(),
                 ));
                 continue;
             }
-            if a.file_scoped {
-                allows.file.insert(rule.clone(), just.clone());
-            } else {
-                allows.lines.insert((rule.clone(), a.line), just.clone());
-                allows
-                    .lines
-                    .insert((rule.clone(), a.line + 1), just.clone());
+            if a.justification.is_none() {
+                findings.push(Finding::new(
+                    "lint-annotation",
+                    rel_path,
+                    a.line,
+                    "rvs-lint allow annotation is missing its `-- <justification>`; every \
+                     exception must say why it is sound"
+                        .to_string(),
+                ));
+                continue;
+            }
+            let just = a.justification.clone().unwrap_or_default();
+            for rule in &a.rules {
+                if !known_rule(rule) {
+                    findings.push(Finding::new(
+                        "lint-annotation",
+                        rel_path,
+                        a.line,
+                        format!("unknown rule `{rule}` in rvs-lint allow annotation"),
+                    ));
+                    continue;
+                }
+                grants.push(Grant {
+                    rule: rule.clone(),
+                    line: a.line,
+                    file_scoped: a.file_scoped,
+                    justification: just.clone(),
+                    used: false,
+                });
             }
         }
+        Suppressions { grants }
     }
-    allows
+
+    /// Look up a grant covering a finding of `rule` on `line`, marking it
+    /// used. Line-scoped grants (more specific) win over file-scoped ones.
+    fn suppress(&mut self, rule: &str, line: u32) -> Option<String> {
+        if let Some(g) = self
+            .grants
+            .iter_mut()
+            .find(|g| !g.file_scoped && g.rule == rule && (line == g.line || line == g.line + 1))
+        {
+            g.used = true;
+            return Some(g.justification.clone());
+        }
+        if let Some(g) = self
+            .grants
+            .iter_mut()
+            .find(|g| g.file_scoped && g.rule == rule)
+        {
+            g.used = true;
+            return Some(g.justification.clone());
+        }
+        None
+    }
+
+    /// Findings for every grant that suppressed nothing. A dead `allow` is
+    /// not harmless: it advertises an exception that no longer exists, and
+    /// it would silently swallow the next real finding near its line.
+    fn unused(&self, rel_path: &str) -> Vec<Finding> {
+        self.grants
+            .iter()
+            .filter(|g| !g.used)
+            .map(|g| {
+                Finding::new(
+                    "unused-suppression",
+                    rel_path,
+                    g.line,
+                    format!(
+                        "`allow{}({})` suppresses nothing — remove the stale annotation (it \
+                         would hide the next real `{}` finding introduced near this line)",
+                        if g.file_scoped { "-file" } else { "" },
+                        g.rule,
+                        g.rule,
+                    ),
+                )
+            })
+            .collect()
+    }
 }
 
-/// Run every applicable token rule over one file's source text.
+/// Run every applicable per-file rule (token and structural) over one
+/// file's source text.
 ///
 /// `rel_path` is workspace-relative and determines crate scoping; the
 /// returned findings include justified ones (with their justification
-/// attached) so reports can show the full exception surface.
+/// attached) so reports can show the full exception surface. `allow`
+/// grants that suppress nothing become `unused-suppression` findings.
 pub fn check_source(rel_path: &str, src: &str) -> Vec<Finding> {
     let class = classify(rel_path);
     let lexed = lexer::lex(src);
     let in_test = lexer::test_spans(&lexed.toks);
     let mut findings = Vec::new();
-    let allows = collect_allows(rel_path, &lexed.annotations, &mut findings);
+    let mut suppressions = Suppressions::collect(rel_path, &lexed.annotations, &mut findings);
+    // Findings pushed before this point (malformed annotations) are not
+    // themselves suppressible; remember where the suppressible ones start.
+    let suppressible_from = findings.len();
 
     for rule in TOKEN_RULES {
         let in_scope = match rule.scope {
@@ -270,24 +331,34 @@ pub fn check_source(rel_path: &str, src: &str) -> Vec<Finding> {
                 }
                 let line = lexed.toks[i].line;
                 let shown = pattern.join("");
-                let mut f = Finding::new(
+                findings.push(Finding::new(
                     rule.id,
                     rel_path,
                     line,
                     format!("`{shown}` is banned here: {}", rule.rationale),
-                );
-                if let Some(just) = allows
-                    .lines
-                    .get(&(rule.id.to_string(), line))
-                    .or_else(|| allows.file.get(rule.id))
-                {
-                    f.justification = Some(just.clone());
-                }
-                findings.push(f);
+                ));
                 i += pattern.len();
             }
         }
     }
+
+    let model = crate::parser::parse_items(&lexed.toks);
+    findings.extend(crate::structural::check_structural(
+        rel_path,
+        &class,
+        &lexed.toks,
+        &model,
+        &in_test,
+    ));
+
+    // One suppression pass over everything the rule engines produced, so a
+    // grant's used-flag reflects both token and structural findings.
+    for f in &mut findings[suppressible_from..] {
+        if let Some(just) = suppressions.suppress(&f.rule, f.line) {
+            f.justification = Some(just);
+        }
+    }
+    findings.extend(suppressions.unused(rel_path));
     // Scanning goes rule-by-rule; present findings in source order.
     findings.sort_by(|a, b| (a.line, &a.rule, &a.message).cmp(&(b.line, &b.rule, &b.message)));
     findings
@@ -296,6 +367,47 @@ pub fn check_source(rel_path: &str, src: &str) -> Vec<Finding> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn unused_allow_is_a_finding() {
+        let src = "// rvs-lint: allow(hash-container) -- nothing here uses one\nfn f() {}\n";
+        let f = check_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unused-suppression");
+        assert!(f[0].message.contains("allow(hash-container)"));
+    }
+
+    #[test]
+    fn used_allow_is_not_reported_unused() {
+        let src = "// rvs-lint: allow(hash-container) -- exercising the grant\nuse std::collections::HashMap;\n";
+        let f = check_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "hash-container");
+        assert!(f[0].justification.is_some());
+    }
+
+    #[test]
+    fn file_scoped_allow_marks_used_once_for_many_findings() {
+        let src = "// rvs-lint: allow-file(hash-container) -- test fixture\n\
+                   fn a() { let _: HashMap<u8, u8>; }\n\
+                   fn b() { let _: HashSet<u8>; }\n";
+        let f = check_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.justification.is_some()));
+    }
+
+    #[test]
+    fn structural_findings_consume_grants_too() {
+        let src = "\
+            fn seed() -> DetRng {\n\
+                // rvs-lint: allow(rng-fork-site) -- documented new stream root\n\
+                DetRng::new(7)\n\
+            }\n";
+        let f = check_source("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "rng-fork-site");
+        assert!(f[0].justification.is_some());
+    }
 
     #[test]
     fn classify_paths() {

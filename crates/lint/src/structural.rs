@@ -1,0 +1,719 @@
+//! Structural rule families, built on the item model ([`crate::parser`]).
+//!
+//! Token rules catch banned *names*; these rules catch banned *shapes* —
+//! relationships between items that no token sequence can express:
+//!
+//! * **persist-coverage** — every `impl Persist` for a type declared in
+//!   the same file must reference each of the type's fields in both
+//!   `persist` and `restore`, and reference them in the same relative
+//!   order. A field added to a struct but forgotten in its `Persist`
+//!   impl silently corrupts checkpoint resume-equivalence; this rule
+//!   turns that into a lint failure the moment the field is declared.
+//!   Enum impls must name every variant on both sides.
+//! * **rng-fork-site** — `DetRng::new(...)` / `.fork(...)` outside the
+//!   sanctioned stream-topology sites. The differential proofs assume a
+//!   fixed fork tree rooted at the run seed; an ad-hoc fork re-roots a
+//!   stream and silently changes every downstream draw.
+//! * **rng-branch** — RNG draws in short-circuit position of an `if`
+//!   condition (after `&&`/`||`) or anywhere in a `match` guard. Whether
+//!   such a draw happens depends on data, so it perturbs draw order —
+//!   exactly the hazard the parallel engine's plan/apply split exists to
+//!   avoid. Deliberate sites carry `allow(rng-branch)` with rationale.
+//! * **float-total-order** — `partial_cmp`, float `==`/`!=`, float
+//!   `max`/`min`, and float `sort_by` without `total_cmp`/`to_bits` in
+//!   protocol crates. Comparisons that silently drop NaN (or panic on
+//!   it) are how two byte-identical runs stop being byte-identical.
+//!
+//! Float-ness is inferred structurally: a field or binding whose declared
+//! type is `f64`/`f32`, or a float literal. The inference is deliberately
+//! conservative — expressions it cannot type are not flagged.
+
+use crate::lexer::Tok;
+use crate::parser::{CondKind, ItemModel};
+use crate::report::Finding;
+use crate::rules::FileClass;
+use std::collections::BTreeSet;
+
+/// Structural rule ids (valid in `allow(...)` annotations).
+pub const STRUCTURAL_RULES: &[&str] = &[
+    "persist-coverage",
+    "rng-fork-site",
+    "rng-branch",
+    "float-total-order",
+];
+
+/// The sanctioned homes of `DetRng` construction and forking: the RNG
+/// crate itself, System setup (which forks the labelled root streams),
+/// per-swarm `SwarmRunner` forks, and per-sender `FaultLane` forks.
+/// Entries ending in `/` are directory prefixes. Everything else needs
+/// `allow(rng-fork-site)` with a written rationale.
+pub const RNG_FORK_SANCTIONED: &[&str] = &[
+    "crates/sim/",
+    "crates/scenario/src/system.rs",
+    "crates/bittorrent/src/net.rs",
+    "crates/faults/src/plane.rs",
+];
+
+/// Every draw method on `DetRng`. A call to one of these names with an
+/// RNG-ish receiver is treated as a draw.
+pub const DRAW_METHODS: &[&str] = &[
+    "next_u64_raw",
+    "next_f64",
+    "below",
+    "range_u64",
+    "index",
+    "chance",
+    "pick",
+    "shuffle",
+    "sample_indices",
+    "exp",
+    "pareto",
+    "jitter",
+];
+
+/// Does `rel_path` fall under one of the sanctioned-path entries?
+fn sanctioned(rel_path: &str, paths: &[&str]) -> bool {
+    paths
+        .iter()
+        .any(|p| rel_path == *p || (p.ends_with('/') && rel_path.starts_with(p)))
+}
+
+/// The RNG rules cover the protocol crates plus the scenario runtime
+/// (which owns the stream topology the sanctioned sites fork from).
+fn rng_in_scope(class: &FileClass) -> bool {
+    class.protocol || class.crate_name == "scenario"
+}
+
+/// Run every structural rule over one file. `in_test` flags tokens inside
+/// `#[cfg(test)]` items; whole test files are skipped by the caller's
+/// `class.test_file` via each rule's scope check here.
+pub fn check_structural(
+    rel_path: &str,
+    class: &FileClass,
+    toks: &[Tok],
+    model: &ItemModel,
+    in_test: &[bool],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if !class.test_file {
+        persist_coverage(rel_path, toks, model, in_test, &mut findings);
+        if rng_in_scope(class) {
+            rng_fork_site(rel_path, toks, in_test, &mut findings);
+            rng_branch(rel_path, toks, in_test, &mut findings);
+        }
+        if class.protocol {
+            float_total_order(rel_path, toks, model, in_test, &mut findings);
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// persist-coverage
+// ---------------------------------------------------------------------------
+
+/// First-occurrence order of `self.<field>` references within `body`.
+fn self_field_refs(toks: &[Tok], body: std::ops::Range<usize>, fields: &[String]) -> Vec<String> {
+    let mut seen = Vec::new();
+    let mut i = body.start;
+    while i + 2 < body.end {
+        if toks[i].text == "self" && toks[i + 1].text == "." {
+            let name = &toks[i + 2].text;
+            if fields.iter().any(|f| f == name) && !seen.contains(name) {
+                seen.push(name.clone());
+            }
+        }
+        i += 1;
+    }
+    seen
+}
+
+/// First-occurrence order of bare field-name tokens within `body` (how
+/// `restore` references fields: struct literals, shorthand init, or local
+/// bindings that feed them).
+fn token_field_refs(toks: &[Tok], body: std::ops::Range<usize>, fields: &[String]) -> Vec<String> {
+    let mut seen = Vec::new();
+    for tok in &toks[body.clone()] {
+        if fields.iter().any(|f| f == &tok.text) && !seen.contains(&tok.text) {
+            seen.push(tok.text.clone());
+        }
+    }
+    seen
+}
+
+fn persist_coverage(
+    rel_path: &str,
+    toks: &[Tok],
+    model: &ItemModel,
+    in_test: &[bool],
+    findings: &mut Vec<Finding>,
+) {
+    for imp in &model.impls {
+        if imp.trait_name.as_deref() != Some("Persist") {
+            continue;
+        }
+        let Some(type_name) = imp.type_name.as_deref() else {
+            continue; // macro fragment / non-path type
+        };
+        if in_test.get(imp.body.start).copied().unwrap_or(false) {
+            continue;
+        }
+        let persist = imp.methods.iter().find(|m| m.name == "persist");
+        let restore = imp.methods.iter().find(|m| m.name == "restore");
+        let (Some(persist), Some(restore)) = (persist, restore) else {
+            continue; // partial impls cannot compile; nothing to check
+        };
+
+        if let Some(decl) = model.struct_named(type_name) {
+            let fields: Vec<String> = decl.fields.iter().map(|(n, _)| n.clone()).collect();
+            let enc_refs = self_field_refs(toks, persist.body.clone(), &fields);
+            let dec_refs = token_field_refs(toks, restore.body.clone(), &fields);
+            for f in &fields {
+                if !enc_refs.contains(f) {
+                    findings.push(Finding::new(
+                        "persist-coverage",
+                        rel_path,
+                        imp.line,
+                        format!(
+                            "impl Persist for {type_name}: fn persist never references field \
+                             `{f}` — a declared field missing from the encoding silently drifts \
+                             the checkpoint format (persist it, or justify why it is volatile)"
+                        ),
+                    ));
+                }
+                if !dec_refs.contains(f) {
+                    findings.push(Finding::new(
+                        "persist-coverage",
+                        rel_path,
+                        imp.line,
+                        format!(
+                            "impl Persist for {type_name}: fn restore never references field \
+                             `{f}` — restore must rebuild every declared field"
+                        ),
+                    ));
+                }
+            }
+            // Relative order of the fields both sides reference must match:
+            // persist writes and restore reads the same byte stream.
+            let enc_common: Vec<&String> =
+                enc_refs.iter().filter(|f| dec_refs.contains(f)).collect();
+            let dec_common: Vec<&String> =
+                dec_refs.iter().filter(|f| enc_refs.contains(f)).collect();
+            if enc_common != dec_common {
+                findings.push(Finding::new(
+                    "persist-coverage",
+                    rel_path,
+                    imp.line,
+                    format!(
+                        "impl Persist for {type_name}: field order differs between persist \
+                         ({}) and restore ({}) — the codec has no tags, so order drift decodes \
+                         one field's bytes as another's",
+                        enc_common
+                            .iter()
+                            .map(|s| s.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        dec_common
+                            .iter()
+                            .map(|s| s.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                    ),
+                ));
+            }
+        } else if let Some(decl) = model.enum_named(type_name) {
+            for v in &decl.variants {
+                let in_enc = toks[persist.body.clone()].iter().any(|t| t.text == *v);
+                let in_dec = toks[restore.body.clone()].iter().any(|t| t.text == *v);
+                if !in_enc || !in_dec {
+                    let side = match (in_enc, in_dec) {
+                        (false, false) => "persist or restore",
+                        (false, true) => "persist",
+                        _ => "restore",
+                    };
+                    findings.push(Finding::new(
+                        "persist-coverage",
+                        rel_path,
+                        imp.line,
+                        format!(
+                            "impl Persist for {type_name}: fn {side} never names variant `{v}` \
+                             — every enum variant needs an explicit discriminant on both sides"
+                        ),
+                    ));
+                }
+            }
+        }
+        // Types declared elsewhere (std containers, cross-crate impls)
+        // are out of structural reach; the codec proptests cover them.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rng-fork-site
+// ---------------------------------------------------------------------------
+
+fn rng_fork_site(rel_path: &str, toks: &[Tok], in_test: &[bool], findings: &mut Vec<Finding>) {
+    if sanctioned(rel_path, RNG_FORK_SANCTIONED) {
+        return;
+    }
+    for i in 0..toks.len() {
+        if in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let construct = toks[i].text == "DetRng"
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("::")
+            && toks.get(i + 2).map(|t| t.text.as_str()) == Some("new");
+        let fork = toks[i].text == "."
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("fork")
+            && toks.get(i + 2).map(|t| t.text.as_str()) == Some("(");
+        if construct || fork {
+            let what = if construct {
+                "DetRng::new"
+            } else {
+                ".fork(...)"
+            };
+            findings.push(Finding::new(
+                "rng-fork-site",
+                rel_path,
+                toks[i].line,
+                format!(
+                    "`{what}` outside the sanctioned stream-topology sites ({}) — an ad-hoc \
+                     RNG stream re-roots draw order out from under the differential proofs; \
+                     plumb an existing stream or justify the new root",
+                    RNG_FORK_SANCTIONED.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rng-branch
+// ---------------------------------------------------------------------------
+
+/// Is the token at `k` a draw-method call (`<rng-ish> . method (`)?
+/// The receiver tail must contain `rng` (case-insensitive), which covers
+/// `rng`, `self.rng_gossip`, `send_rng[i]`, `lane.rng`, ...
+fn is_draw_at(toks: &[Tok], k: usize) -> bool {
+    if !DRAW_METHODS.contains(&toks[k].text.as_str()) {
+        return false;
+    }
+    if k < 2 || toks[k - 1].text != "." {
+        return false;
+    }
+    if toks.get(k + 1).map(|t| t.text.as_str()) != Some("(") {
+        return false;
+    }
+    toks[k - 2].text.to_ascii_lowercase().contains("rng")
+}
+
+fn rng_branch(rel_path: &str, toks: &[Tok], in_test: &[bool], findings: &mut Vec<Finding>) {
+    for region in crate::parser::cond_regions(toks) {
+        if in_test.get(region.tokens.start).copied().unwrap_or(false) {
+            continue;
+        }
+        let mut short_circuit_seen = false;
+        let mut k = region.tokens.start;
+        while k < region.tokens.end {
+            // `&&` / `||` lex as two adjacent one-char tokens.
+            if k + 1 < region.tokens.end
+                && ((toks[k].text == "&" && toks[k + 1].text == "&")
+                    || (toks[k].text == "|" && toks[k + 1].text == "|"))
+            {
+                short_circuit_seen = true;
+                k += 2;
+                continue;
+            }
+            if is_draw_at(toks, k) {
+                let conditional = match region.kind {
+                    // In an `if` condition the first operand always runs;
+                    // only draws behind `&&`/`||` are data-dependent.
+                    CondKind::IfCond => short_circuit_seen,
+                    // A guard only runs when its pattern matched and no
+                    // earlier arm took the value: always conditional.
+                    CondKind::MatchGuard => true,
+                };
+                if conditional {
+                    findings.push(Finding::new(
+                        "rng-branch",
+                        rel_path,
+                        toks[k].line,
+                        format!(
+                            "RNG draw `{}` is conditionally evaluated ({}) — whether this draw \
+                             happens depends on data, so it shifts every later draw on the \
+                             stream; hoist the draw out of the branch or justify why the \
+                             condition is deterministic",
+                            toks[k].text,
+                            match region.kind {
+                                CondKind::IfCond => "short-circuit position in an if condition",
+                                CondKind::MatchGuard => "inside a match guard",
+                            }
+                        ),
+                    ));
+                }
+            }
+            k += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// float-total-order
+// ---------------------------------------------------------------------------
+
+/// Is this token a float literal? (`1.0`, `0.5`, `2f64` — the lexer keeps
+/// a literal as one token, and only consumes `.` when a digit follows.)
+fn is_float_literal(text: &str) -> bool {
+    let mut chars = text.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    first.is_ascii_digit() && (text.contains('.') || text.ends_with("f64") || text.ends_with("f32"))
+}
+
+/// Names structurally known to hold floats: struct fields declared
+/// `f64`/`f32` in this file, plus any `name : f64` binding/parameter.
+fn float_idents(toks: &[Tok], model: &ItemModel) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    for s in &model.structs {
+        for (name, ty) in &s.fields {
+            if ty.iter().any(|t| t == "f64" || t == "f32") {
+                set.insert(name.clone());
+            }
+        }
+    }
+    for w in toks.windows(3) {
+        if w[1].text == ":" && (w[2].text == "f64" || w[2].text == "f32") {
+            let name = &w[0].text;
+            if name
+                .chars()
+                .next()
+                .map(|c| c.is_alphabetic() || c == '_')
+                .unwrap_or(false)
+            {
+                set.insert(name.clone());
+            }
+        }
+    }
+    set
+}
+
+/// Is the token float-ish under our structural typing?
+fn floatish(tok: &Tok, floats: &BTreeSet<String>) -> bool {
+    is_float_literal(&tok.text) || floats.contains(&tok.text)
+}
+
+/// Does any token in `lo..hi` (clamped) spell a sanctioned total-order
+/// escape (`total_cmp` / `to_bits`)?
+fn escape_near(toks: &[Tok], lo: isize, hi: usize) -> bool {
+    let lo = lo.max(0) as usize;
+    let hi = hi.min(toks.len());
+    toks[lo..hi]
+        .iter()
+        .any(|t| t.text == "total_cmp" || t.text == "to_bits")
+}
+
+fn float_total_order(
+    rel_path: &str,
+    toks: &[Tok],
+    model: &ItemModel,
+    in_test: &[bool],
+    findings: &mut Vec<Finding>,
+) {
+    let floats = float_idents(toks, model);
+    let flag = |findings: &mut Vec<Finding>, line: u32, what: &str| {
+        findings.push(Finding::new(
+            "float-total-order",
+            rel_path,
+            line,
+            format!(
+                "{what} on a float in a protocol crate — NaN breaks the comparison's contract \
+                 and with it bit-reproducibility; use f64::total_cmp / to_bits, or justify why \
+                 the operands are NaN-free and the semantics intended"
+            ),
+        ));
+    };
+    for k in 0..toks.len() {
+        if in_test.get(k).copied().unwrap_or(false) {
+            continue;
+        }
+        let text = toks[k].text.as_str();
+        // `.partial_cmp(` calls (not the PartialOrd impl's fn definition).
+        if text == "partial_cmp"
+            && k > 0
+            && toks[k - 1].text == "."
+            && toks.get(k + 1).map(|t| t.text.as_str()) == Some("(")
+        {
+            flag(findings, toks[k].line, "`partial_cmp`");
+            continue;
+        }
+        // Float `==` / `!=`. (`==` lexes as two `=` tokens, `!=` as `!` `=`.)
+        let eq_op = toks.get(k + 1).map(|t| t.text.as_str()) == Some("=")
+            && (text == "=" || text == "!")
+            && (k == 0 || toks[k - 1].text != "=")
+            && toks.get(k + 2).map(|t| t.text.as_str()) != Some("=");
+        if eq_op {
+            let lhs_float = k > 0 && floatish(&toks[k - 1], &floats);
+            let rhs_float = toks
+                .get(k + 2)
+                .map(|t| floatish(t, &floats))
+                .unwrap_or(false);
+            if (lhs_float || rhs_float) && !escape_near(toks, k as isize - 6, k + 8) {
+                let op = if text == "!" { "`!=`" } else { "`==`" };
+                flag(findings, toks[k].line, op);
+            }
+            continue;
+        }
+        // Float `.max(` / `.min(`.
+        if (text == "max" || text == "min")
+            && k > 0
+            && toks[k - 1].text == "."
+            && toks.get(k + 1).map(|t| t.text.as_str()) == Some("(")
+        {
+            let recv_float = k >= 2 && floatish(&toks[k - 2], &floats);
+            let arg_float = toks
+                .get(k + 2)
+                .map(|t| floatish(t, &floats))
+                .unwrap_or(false);
+            if (recv_float || arg_float) && !escape_near(toks, k as isize - 6, k + 8) {
+                flag(findings, toks[k].line, &format!("`.{text}(...)`"));
+            }
+            continue;
+        }
+        // Float sorts without a total-order comparator.
+        if (text == "sort_by" || text == "sort_unstable_by")
+            && toks.get(k + 1).map(|t| t.text.as_str()) == Some("(")
+        {
+            // Scan the call's argument region.
+            let mut depth = 0i32;
+            let mut j = k + 1;
+            let mut saw_float = false;
+            let mut saw_escape = false;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    t => {
+                        if floatish(&toks[j], &floats) || t == "f64" || t == "f32" {
+                            saw_float = true;
+                        }
+                        if t == "total_cmp" || t == "to_bits" {
+                            saw_escape = true;
+                        }
+                    }
+                }
+                j += 1;
+            }
+            if saw_float && !saw_escape {
+                flag(
+                    findings,
+                    toks[k].line,
+                    "`sort_by` without total_cmp/to_bits",
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, test_spans};
+    use crate::parser::parse_items;
+    use crate::rules::classify;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let model = parse_items(&lexed.toks);
+        let in_test = test_spans(&lexed.toks);
+        check_structural(rel, &classify(rel), &lexed.toks, &model, &in_test)
+    }
+
+    #[test]
+    fn persist_missing_field_fires_both_sides() {
+        let src = "
+            pub struct Thing { pub a: u64, b: u64 }
+            impl rvs_checkpoint::Persist for Thing {
+                fn persist(&self, enc: &mut Encoder) { enc.u64(self.a); }
+                fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+                    Ok(Thing { a: dec.u64()?, b: 0 })
+                }
+            }
+        ";
+        let f = run("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0]
+            .message
+            .contains("fn persist never references field `b`"));
+    }
+
+    #[test]
+    fn persist_order_drift_fires() {
+        let src = "
+            struct P { a: u64, b: u64 }
+            impl Persist for P {
+                fn persist(&self, enc: &mut Encoder) { enc.u64(self.a); enc.u64(self.b); }
+                fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+                    let b = dec.u64()?;
+                    let a = dec.u64()?;
+                    Ok(P { a, b })
+                }
+            }
+        ";
+        let f = run("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("field order differs"));
+    }
+
+    #[test]
+    fn compliant_persist_is_clean_including_let_bindings() {
+        let src = "
+            struct P { a: u64, b: Foo }
+            impl Persist for P {
+                fn persist(&self, enc: &mut Encoder) { enc.u64(self.a); self.b.persist(enc); }
+                fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+                    let a = dec.u64()?;
+                    let b = Foo::restore(dec)?;
+                    Ok(P { a, b })
+                }
+            }
+        ";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn persist_enum_variant_coverage() {
+        let src = "
+            enum Role { Leecher, Seeder, Observer }
+            impl Persist for Role {
+                fn persist(&self, enc: &mut Encoder) {
+                    enc.u8(match self { Role::Leecher => 0, Role::Seeder => 1, Role::Observer => 2 });
+                }
+                fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+                    match dec.u8()? {
+                        0 => Ok(Role::Leecher),
+                        1 => Ok(Role::Seeder),
+                        d => Err(DecodeError::Corrupt(format!(\"bad {d}\"))),
+                    }
+                }
+            }
+        ";
+        let f = run("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`Observer`"));
+    }
+
+    #[test]
+    fn persist_impls_in_tests_are_skipped() {
+        let src = "
+            #[cfg(test)]
+            mod tests {
+                struct T { a: u64 }
+                impl Persist for T {
+                    fn persist(&self, enc: &mut Encoder) {}
+                    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> { Ok(T { a: 0 }) }
+                }
+            }
+        ";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fork_outside_sanctioned_sites_fires() {
+        let src = "fn setup(seed: u64) -> DetRng { DetRng::new(seed).fork(7) }\n";
+        let f = run("crates/modcast/src/x.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "rng-fork-site"));
+        // Sanctioned home: same source, no findings.
+        assert!(run("crates/sim/src/anything.rs", src).is_empty());
+        assert!(run("crates/bittorrent/src/net.rs", src).is_empty());
+        // Out of scope: non-protocol crates.
+        assert!(run("crates/metrics/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn short_circuit_draw_fires_but_leading_draw_does_not() {
+        let leading = "fn f(rng: &mut DetRng) -> u32 { if rng.chance(0.5) { 1 } else { 0 } }\n";
+        assert!(run("crates/core/src/x.rs", leading).is_empty());
+        let gated =
+            "fn f(on: bool, rng: &mut DetRng) -> u32 { if on && rng.chance(0.5) { 1 } else { 0 } }\n";
+        let f = run("crates/core/src/x.rs", gated);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "rng-branch");
+    }
+
+    #[test]
+    fn match_guard_draw_always_fires() {
+        let src = "
+            fn f(x: u32, rng: &mut DetRng) -> u32 {
+                match x { 0 => 7, n if rng.below(n as u64) == 0 => 1, _ => 2 }
+            }
+        ";
+        let f = run("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "rng-branch");
+    }
+
+    #[test]
+    fn non_rng_receivers_are_not_draws() {
+        let src = "fn f(v: &[u32]) -> u32 { if on && v.index(3) > 0 { 1 } else { 0 } }\n";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_eq_and_partial_cmp_fire() {
+        let src = "
+            struct C { loss: f64 }
+            impl C {
+                fn inert(&self) -> bool { self.loss == 0.0 }
+                fn cmp2(&self, other: &C) -> Option<Ordering> { self.loss.partial_cmp(&other.loss) }
+            }
+        ";
+        let f = run("crates/faults/src/x.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == "float-total-order"));
+    }
+
+    #[test]
+    fn float_eq_via_to_bits_is_clean() {
+        let src = "
+            struct C { loss: f64 }
+            impl C { fn same(&self, o: &C) -> bool { self.loss.to_bits() == o.loss.to_bits() } }
+        ";
+        assert!(run("crates/faults/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn integer_comparisons_never_fire() {
+        let src = "
+            struct C { n: u64 }
+            impl C { fn z(&self) -> bool { self.n == 0 } fn m(&self) -> u64 { self.n.max(1) } }
+        ";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_max_min_fire_on_literal_args() {
+        let src = "fn clamp(ms: f64) -> f64 { ms.max(0.0) }\n";
+        let f = run("crates/faults/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`.max(...)`"));
+        // Same shape outside protocol crates is fine.
+        assert!(run("crates/metrics/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sort_by_with_total_cmp_is_clean_without_fires() {
+        let clean = "fn s(v: &mut Vec<f64>) { v.sort_by(f64::total_cmp); }\n";
+        assert!(run("crates/core/src/x.rs", clean).is_empty());
+        let dirty = "fn s(v: &mut Vec<(f64, u32)>, w: f64) { v.sort_by(|a, b| cmpish(a, w)); }\n";
+        let f = run("crates/core/src/x.rs", dirty);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("sort_by"));
+    }
+}

@@ -514,9 +514,80 @@ pub fn threading_config(root: &Path) -> Vec<Finding> {
     findings
 }
 
+/// **stale-metadata**: the lint's own path/crate lists must track the tree.
+/// An `exempt_paths` entry, a [`crate::rules::PROTOCOL_CRATES`] member, or a
+/// sanctioned RNG-fork site naming something that no longer exists is a
+/// silently widened (or silently vanished) audit surface: the exemption
+/// outlives the code it excused, and the next file created at that path
+/// inherits it unreviewed.
+pub fn stale_metadata(root: &Path) -> Vec<Finding> {
+    const SELF: &str = "crates/lint/src/rules.rs";
+    const STRUCTURAL: &str = "crates/lint/src/structural.rs";
+    let mut findings = Vec::new();
+
+    let mut check_path = |list: &str, decl_file: &str, entry: &str| {
+        // Entries ending in `/` are directory prefixes; others are files.
+        let exists = if let Some(dir) = entry.strip_suffix('/') {
+            root.join(dir).is_dir()
+        } else {
+            root.join(entry).is_file()
+        };
+        if !exists {
+            findings.push(Finding::new(
+                "stale-metadata",
+                decl_file,
+                0,
+                format!(
+                    "{list} entry `{entry}` does not exist on disk — a stale exemption would \
+                     be inherited unreviewed by whatever is created there next; update the list"
+                ),
+            ));
+        }
+    };
+
+    for rule in crate::rules::TOKEN_RULES {
+        for entry in rule.exempt_paths {
+            check_path(&format!("rule `{}` exempt_paths", rule.id), SELF, entry);
+        }
+    }
+    for entry in crate::structural::RNG_FORK_SANCTIONED {
+        check_path("RNG_FORK_SANCTIONED", STRUCTURAL, entry);
+    }
+    for krate in crate::rules::PROTOCOL_CRATES {
+        if !root.join("crates").join(krate).is_dir() {
+            findings.push(Finding::new(
+                "stale-metadata",
+                SELF,
+                0,
+                format!(
+                    "PROTOCOL_CRATES member `{krate}` has no `crates/{krate}/` directory — the \
+                     strictest rule scope silently covers nothing for it; update the list"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stale_metadata_flags_missing_paths() {
+        // A root that holds none of the declared paths: every metadata
+        // entry must be reported stale.
+        let findings = stale_metadata(Path::new("/nonexistent/rvs-lint-stale-metadata"));
+        let exempt_count: usize = crate::rules::TOKEN_RULES
+            .iter()
+            .map(|r| r.exempt_paths.len())
+            .sum();
+        let expected = exempt_count
+            + crate::structural::RNG_FORK_SANCTIONED.len()
+            + crate::rules::PROTOCOL_CRATES.len();
+        assert_eq!(findings.len(), expected, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == "stale-metadata"));
+    }
 
     #[test]
     fn parses_typed_and_typeless_structs() {

@@ -1,0 +1,27 @@
+// fixture-path: crates/core/src/fixture.rs
+// expect: float-total-order float-total-order float-total-order float-total-order
+// Partial-order float operations in a protocol crate: equality, a
+// partial_cmp call, an IEEE max clamp, and a sort keyed on floats with no
+// total_cmp/to_bits in sight. Each fires once.
+
+pub struct Score {
+    pub x: f64,
+}
+
+impl Score {
+    pub fn is_zero(&self) -> bool {
+        self.x == 0.0
+    }
+
+    pub fn compare(&self, other: &Score) -> Option<core::cmp::Ordering> {
+        self.x.partial_cmp(&other.x)
+    }
+
+    pub fn clamped(ms: f64) -> f64 {
+        ms.max(0.0)
+    }
+
+    pub fn rank(v: &mut Vec<Score>, scale: f64) {
+        v.sort_by(|p, q| weigh(p, scale).cmp(&weigh(q, scale)));
+    }
+}

@@ -1,0 +1,10 @@
+// fixture-path: crates/core/src/fixture.rs
+// expect: lint-annotation lint-annotation
+// Two broken suppressions: one missing its written justification, one
+// naming a rule that does not exist. Neither registers a grant.
+
+// rvs-lint: allow(hash-container)
+pub fn missing_justification() {}
+
+// rvs-lint: allow(determinism-vibes) -- this rule id is not a thing
+pub fn unknown_rule() {}

@@ -1,0 +1,13 @@
+// fixture-path: crates/modcast/src/fixture.rs
+// expect: panic-surface panic-surface panic-surface
+// Reachable panics in a protocol crate that gossips adversarial input:
+// each is a remote crash waiting for the right message.
+
+pub fn fragile(v: &[u64], m: &std::collections::BTreeMap<u64, u64>) -> u64 {
+    let first = v.first().unwrap();
+    let looked_up = m.get(first).expect("sender must be known");
+    if *looked_up > 100 {
+        panic!("implausible ledger value");
+    }
+    *looked_up
+}

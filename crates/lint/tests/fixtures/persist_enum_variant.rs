@@ -1,0 +1,30 @@
+// fixture-path: crates/checkpoint/src/fixture.rs
+// expect: persist-coverage
+// An enum variant encoded by `persist` but with no decoding arm in
+// `restore`: checkpoints containing it can never be loaded again.
+
+pub enum Phase {
+    Warmup,
+    Steady,
+    Drain,
+}
+
+impl rvs_checkpoint::Persist for Phase {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.u8(match self {
+            Phase::Warmup => 0,
+            Phase::Steady => 1,
+            Phase::Drain => 2,
+        });
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        match dec.u8()? {
+            0 => Ok(Phase::Warmup),
+            1 => Ok(Phase::Steady),
+            d => Err(rvs_checkpoint::DecodeError::Corrupt(format!(
+                "bad Phase discriminant {d}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,23 @@
+// fixture-path: crates/checkpoint/src/fixture.rs
+// expect: persist-coverage
+// A field declared on the struct but never written by `persist`: the exact
+// checkpoint-format drift the rule exists to catch.
+
+pub struct Broken {
+    pub a: u64,
+    pub b: u64,
+}
+
+impl rvs_checkpoint::Persist for Broken {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.u64(self.a);
+        // self.b forgotten: decode will read trailing bytes or starve.
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(Broken {
+            a: dec.u64()?,
+            b: 0,
+        })
+    }
+}

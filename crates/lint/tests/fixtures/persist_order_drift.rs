@@ -1,0 +1,22 @@
+// fixture-path: crates/checkpoint/src/fixture.rs
+// expect: persist-coverage
+// Both sides reference both fields, but in different orders. The codec is
+// untagged, so restore decodes `b`'s bytes into `a` and vice versa.
+
+pub struct Swapped {
+    pub a: u64,
+    pub b: u64,
+}
+
+impl rvs_checkpoint::Persist for Swapped {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        enc.u64(self.a);
+        enc.u64(self.b);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        let b = dec.u64()?;
+        let a = dec.u64()?;
+        Ok(Swapped { a, b })
+    }
+}

@@ -1,0 +1,21 @@
+// fixture-path: crates/pss/src/fixture.rs
+// expect: rng-branch rng-branch
+// Two conditionally evaluated draws: one short-circuited behind `&&` in an
+// if condition, one inside a match guard. Whether either draw happens
+// depends on data, which shifts every later draw on the stream.
+
+pub fn gated(flag: bool, rng: &mut DetRng) -> u32 {
+    if flag && rng.chance(0.5) {
+        1
+    } else {
+        0
+    }
+}
+
+pub fn guarded(x: u64, rng: &mut DetRng) -> u32 {
+    match x {
+        0 => 7,
+        n if rng.below(n) == 0 => 1,
+        _ => 2,
+    }
+}

@@ -1,0 +1,9 @@
+// fixture-path: crates/pss/src/fixture.rs
+// expect: rng-fork-site rng-fork-site
+// An ad-hoc RNG root plus an ad-hoc fork inside a protocol crate: both
+// re-root a stream outside the sanctioned topology (sim, System setup,
+// SwarmRunner, FaultLane) and fire separately.
+
+pub fn rogue_stream(seed: u64) -> DetRng {
+    DetRng::new(seed).fork(0xBAD)
+}

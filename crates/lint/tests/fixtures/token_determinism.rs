@@ -1,0 +1,16 @@
+// fixture-path: crates/core/src/fixture.rs
+// expect: hash-container hash-container wall-clock wall-clock ambient-rng ambient-env ambient-thread
+// One occurrence of each banned determinism construct: randomized-order
+// containers, both wall-clock reads, ambient entropy, environment reads,
+// and ad-hoc threads.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn nondeterministic_soup() {
+    let _t = Instant::now();
+    let _s = SystemTime::UNIX_EPOCH;
+    let _r = thread_rng();
+    let _e = std::env::var("HOME");
+    let _h = std::thread::spawn(|| 1);
+}

@@ -1,0 +1,9 @@
+// fixture-path: crates/core/src/fixture.rs
+// expect: unused-suppression
+// A grant for a rule that never fires here. Left in place it would
+// silently swallow the next real wall-clock finding near this line.
+
+// rvs-lint: allow(wall-clock) -- stale excuse for code that was deleted
+pub fn nothing_to_excuse() -> u64 {
+    42
+}

@@ -82,23 +82,181 @@ proptest! {
     }
 
     /// An allow annotation with a justification suppresses exactly the
-    /// next line, whatever inert noise surrounds it.
+    /// next line, whatever inert noise surrounds it — and a grant for a
+    /// rule that never fires is reported as unused-suppression.
     #[test]
     fn annotation_suppresses_exactly_next_line(
         prefix in prop::collection::vec((0u8..7, 0usize..4), 0..5),
         which in 0usize..4,
     ) {
+        // The rule each banned name belongs to, aligned with BANNED.
+        const RULE_OF: &[&str] = &["hash-container", "hash-container", "wall-clock", "ambient-rng"];
         let mut body = String::new();
         for (i, &(kind, w)) in prefix.iter().enumerate() {
             body.push_str(&inert_fragment(kind, BANNED[w], i));
         }
-        body.push_str("    // rvs-lint: allow(hash-container, wall-clock, ambient-rng) -- generated fixture\n");
+        body.push_str(&format!(
+            "    // rvs-lint: allow({}) -- generated fixture\n",
+            RULE_OF[which]
+        ));
         body.push_str(&live_fragment(BANNED[which], 99));
         let src = doc(&body);
         let findings = check_source("crates/core/src/generated.rs", &src);
         prop_assert!(
             findings.iter().all(|f| f.justification.is_some()),
             "annotated violation must be justified: {findings:?}\nsource:\n{src}"
+        );
+        // The same document with a grant for a rule that cannot fire must
+        // report exactly one extra finding: the unused grant itself.
+        let stale = src.replace(
+            &format!("allow({})", RULE_OF[which]),
+            &format!("allow({}, panic-surface)", RULE_OF[which]),
+        );
+        let findings = check_source("crates/core/src/generated.rs", &stale);
+        let unused: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "unused-suppression")
+            .collect();
+        prop_assert_eq!(
+            unused.len(), 1,
+            "dead panic-surface grant must surface: {:?}\nsource:\n{}", findings, stale
+        );
+        prop_assert!(unused[0].message.contains("panic-surface"));
+    }
+
+    /// Char literals — including the escapes most likely to desynchronize a
+    /// naive lexer (`'\''`, `'\\'`, `'"'`) — never hide or invent findings:
+    /// live fragments after any mix of them still fire on the right lines.
+    #[test]
+    fn char_literal_escapes_do_not_desync_the_lexer(
+        fragments in prop::collection::vec((0u8..6, 0usize..4), 1..10)
+    ) {
+        let mut body = String::new();
+        let mut expect_lines = Vec::new();
+        for (i, &(kind, which)) in fragments.iter().enumerate() {
+            match kind {
+                // A quote char: if the lexer mistook it for a string
+                // opener, the banned name on the same line would vanish.
+                0 => body.push_str(&format!(
+                    "    let q{i} = ('\"', {}::default());\n",
+                    BANNED[which]
+                )),
+                1 => body.push_str(&format!("    let e{i} = '\\'';\n")),
+                2 => body.push_str(&format!("    let b{i} = '\\\\';\n")),
+                3 => body.push_str(&format!("    let n{i} = '\\n';\n")),
+                4 => body.push_str(&format!("    let u{i} = '\\u{{1F980}}';\n")),
+                _ => {
+                    body.push_str(&live_fragment(BANNED[which], i));
+                    expect_lines.push((i + 2) as u32);
+                    continue;
+                }
+            }
+            // Kind 0 embeds a live banned name alongside the char literal.
+            if kind == 0 {
+                expect_lines.push((i + 2) as u32);
+            }
+        }
+        let src = doc(&body);
+        let findings = check_source("crates/core/src/generated.rs", &src);
+        let got: Vec<u32> = findings.iter().map(|f| f.line).collect();
+        prop_assert_eq!(
+            got, expect_lines,
+            "char escapes desynced the lexer\nsource:\n{}", src
+        );
+    }
+
+    /// Block comments nested to arbitrary depth swallow banned names, and
+    /// the lexer resynchronizes exactly at the final closer: a live
+    /// fragment after the comment still fires.
+    #[test]
+    fn nested_block_comments_swallow_and_resync(
+        depth in 1usize..8,
+        which in 0usize..4,
+        trailing_live in prop::bool::ANY,
+    ) {
+        let mut comment = String::from("    ");
+        for _ in 0..depth {
+            comment.push_str("/* ");
+        }
+        comment.push_str(BANNED[which]);
+        for _ in 0..depth {
+            comment.push_str(" */");
+        }
+        comment.push('\n');
+        let mut body = comment;
+        if trailing_live {
+            body.push_str(&live_fragment(BANNED[which], 0));
+        }
+        let src = doc(&body);
+        let findings = check_source("crates/core/src/generated.rs", &src);
+        if trailing_live {
+            prop_assert_eq!(findings.len(), 1, "{:?}\nsource:\n{}", findings, src);
+            prop_assert_eq!(findings[0].line, 3);
+        } else {
+            prop_assert!(
+                findings.is_empty(),
+                "comment at depth {} leaked: {:?}\nsource:\n{}", depth, findings, src
+            );
+        }
+    }
+
+    /// Raw strings with any fence width swallow banned names, quotes, and
+    /// shorter fences; the token after the closing fence is live again.
+    #[test]
+    fn raw_string_fences_of_any_width_are_opaque(
+        fence in 1usize..6,
+        which in 0usize..4,
+    ) {
+        let hashes = "#".repeat(fence);
+        let inner_fence = "#".repeat(fence - 1);
+        // The payload embeds a quote + shorter fence (a premature-close
+        // trap) and the banned name.
+        let body = format!(
+            "    let r = r{hashes}\"trap: \"{inner_fence} then {} end\"{hashes};\n    let v: Option<{}> = None;\n",
+            BANNED[which], BANNED[which]
+        );
+        let src = doc(&body);
+        let findings = check_source("crates/core/src/generated.rs", &src);
+        prop_assert_eq!(
+            findings.len(), 1,
+            "exactly the code-position name fires: {:?}\nsource:\n{}", findings, src
+        );
+        prop_assert_eq!(findings[0].line, 3);
+    }
+
+    /// `allow-file(...)` covers the whole file from any position: every
+    /// finding of the granted rule is justified no matter where the
+    /// annotation sits relative to the violations.
+    #[test]
+    fn allow_file_placement_is_position_independent(
+        violations in prop::collection::vec(0usize..4, 1..6),
+        at in 0usize..6,
+    ) {
+        let rule_of = ["hash-container", "hash-container", "wall-clock", "ambient-rng"];
+        let mut lines: Vec<String> = violations
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| live_fragment(BANNED[w], i))
+            .collect();
+        // Grant every rule the chosen violations need, in one annotation
+        // inserted at an arbitrary slot.
+        let mut rules: Vec<&str> = violations.iter().map(|&w| rule_of[w]).collect();
+        rules.sort_unstable();
+        rules.dedup();
+        let annotation = format!(
+            "    // rvs-lint: allow-file({}) -- generated placement fixture\n",
+            rules.join(", ")
+        );
+        lines.insert(at.min(lines.len()), annotation);
+        let src = doc(&lines.concat());
+        let findings = check_source("crates/core/src/generated.rs", &src);
+        prop_assert_eq!(
+            findings.len(), violations.len(),
+            "one finding per violation: {:?}\nsource:\n{}", findings, src
+        );
+        prop_assert!(
+            findings.iter().all(|f| f.justification.is_some()),
+            "allow-file at slot {} must cover everything: {:?}\nsource:\n{}", at, findings, src
         );
     }
 }
