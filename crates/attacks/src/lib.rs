@@ -21,15 +21,26 @@
 //! * [`credence`] — a correlation-based rating baseline in the style of
 //!   Credence (paper §VIII), used to quantify the isolation of non-voting
 //!   peers that motivates binding votes to moderators and sampling them.
+//!
+//! * [`flooder`] — a crowd of identities that initiates far more gossip
+//!   than honest peers, exercising the guard plane's per-peer token
+//!   buckets, bounded inboxes, and quarantine;
+//! * [`malformer`] — a wire-level mutator applying seeded structured
+//!   corruption (stuffing, inflation, stale/future timestamps, bad
+//!   signatures, truncation) to exercise every typed validation gate.
 
 pub mod aggregation;
 pub mod credence;
 pub mod flash_crowd;
+pub mod flooder;
+pub mod malformer;
 pub mod mole;
 pub mod sybil;
 
 pub use aggregation::EpidemicAggregation;
 pub use credence::{simulate_credence, CredenceOutcome, VoteHistories};
 pub use flash_crowd::FlashCrowd;
+pub use flooder::Flooder;
+pub use malformer::Malformer;
 pub use mole::MoleAttack;
 pub use sybil::SybilCost;

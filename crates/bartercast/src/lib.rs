@@ -31,7 +31,9 @@ pub mod experience;
 pub mod graph;
 pub mod maxflow;
 pub mod protocol;
+pub mod validate;
 
 pub use experience::{AdaptiveThreshold, ThresholdExperience};
 pub use graph::SubjectiveGraph;
 pub use protocol::{BarterCast, BarterCastConfig, Record};
+pub use validate::validate_records;

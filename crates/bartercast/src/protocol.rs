@@ -80,6 +80,25 @@ pub struct Record {
     pub kib: u64,
 }
 
+/// Stable binary encoding: uploader, downloader, KiB. (Records are a
+/// wire message, not persistent state — this encoding exists for the
+/// wire-fuzz corpus, which decodes adversarial bytes through it.)
+impl rvs_checkpoint::Persist for Record {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        self.from.persist(enc);
+        self.to.persist(enc);
+        enc.u64(self.kib);
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(Record {
+            from: NodeId::restore(dec)?,
+            to: NodeId::restore(dec)?,
+            kib: dec.u64()?,
+        })
+    }
+}
+
 /// Network-wide BarterCast state: one subjective graph per node.
 #[derive(Debug, Clone)]
 pub struct BarterCast {
@@ -160,6 +179,22 @@ impl BarterCast {
         recs
     }
 
+    /// Count one record-exchange encounter. The scenario engine calls
+    /// this when it drives the two delivery halves itself (guarded path)
+    /// instead of going through [`BarterCast::exchange`].
+    pub fn mark_exchange(&self) {
+        self.exchanges.incr();
+    }
+
+    /// Install `reporter`'s records into `receiver`'s subjective graph
+    /// (the receive half of an exchange). Reporter validity is enforced
+    /// by the graph: only edges incident to `reporter` are accepted.
+    pub fn deliver_records(&mut self, receiver: NodeId, reporter: NodeId, recs: &[Record]) {
+        for r in recs {
+            self.graphs[receiver.index()].insert_report(reporter, r.from, r.to, r.kib);
+        }
+    }
+
     /// A PSS encounter between `i` and `j`: both send their own records and
     /// install the other's. Reporter validity is enforced by the graphs.
     pub fn exchange(&mut self, i: NodeId, j: NodeId) {
@@ -169,12 +204,8 @@ impl BarterCast {
         self.exchanges.incr();
         let from_i = self.own_records(i);
         let from_j = self.own_records(j);
-        for r in from_j {
-            self.graphs[i.index()].insert_report(j, r.from, r.to, r.kib);
-        }
-        for r in from_i {
-            self.graphs[j.index()].insert_report(i, r.from, r.to, r.kib);
-        }
+        self.deliver_records(i, j, &from_j);
+        self.deliver_records(j, i, &from_i);
     }
 
     /// Attack hook: deliver an arbitrary (possibly fabricated) record from

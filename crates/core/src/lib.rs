@@ -25,6 +25,7 @@ pub mod ballot;
 pub mod board;
 pub mod protocol;
 pub mod ranking;
+pub mod validate;
 pub mod vote;
 pub mod voxpopuli;
 
@@ -35,5 +36,6 @@ pub use ranking::{
     rank_ballot, rank_ballot_positive, rank_ballot_scored, rank_ballot_with_known, ScoreMethod,
     TopKList,
 };
+pub use validate::{validate_topk, validate_vote_list};
 pub use vote::{select_votes, Vote, VoteEntry, VoteListPolicy};
 pub use voxpopuli::{MergeMethod, VoxCache};

@@ -220,6 +220,16 @@ impl VoteSampling {
         }
     }
 
+    /// Count a VoxPopuli request that went unanswered (responder
+    /// bootstrapping). Engines that intercept the response on the wire —
+    /// validating it before delivery instead of calling
+    /// [`Self::vox_request`] — use this to keep decline telemetry
+    /// coherent with the uninstrumented path.
+    pub fn note_vox_decline(&mut self) {
+        self.vox_counters.requests += 1;
+        self.vox_counters.declines_bootstrapping += 1;
+    }
+
     /// Record a VoxPopuli request answered by an *external* responder —
     /// attack models fabricate their own top-K lists instead of consulting
     /// a ballot box. Counts the request/response pair and caches the list.

@@ -1,0 +1,180 @@
+//! Hostile-input gates for the vote-sampling wire surfaces.
+//!
+//! Every inbound vote list and VoxPopuli top-K response passes one of
+//! these gates before it touches protocol state. The gates are *total*:
+//! they never panic, and any input is either accepted or mapped to
+//! exactly one [`RejectReason`] (first violation wins, checked in a
+//! fixed order). They take the receiving node's view of the world as
+//! explicit parameters — population bound, local clock, configured
+//! windows — so they stay pure and fuzz-friendly.
+
+use crate::ranking::TopKList;
+use crate::vote::VoteEntry;
+use rvs_guard::RejectReason;
+use rvs_sim::{SimDuration, SimTime};
+use std::collections::BTreeSet;
+
+/// Validate an inbound vote list against the wire invariants of §V-A:
+/// at most `max_len` entries ("nodes send a maximum of 50 votes"), each
+/// moderator at most once, moderator ids inside the known population
+/// (`max_id`, exclusive — callers add slack for external moderators),
+/// timestamps no further than `max_skew` in the future, and — when
+/// `replay_window` is non-zero — no older than the window.
+pub fn validate_vote_list(
+    list: &[VoteEntry],
+    max_len: usize,
+    max_id: usize,
+    now: SimTime,
+    max_skew: SimDuration,
+    replay_window: SimDuration,
+) -> Result<(), RejectReason> {
+    if list.len() > max_len {
+        return Err(RejectReason::ListTooLong);
+    }
+    let horizon = now.saturating_add(max_skew);
+    let mut seen = BTreeSet::new();
+    for e in list {
+        if e.moderator.index() >= max_id {
+            return Err(RejectReason::InvalidNode);
+        }
+        if !seen.insert(e.moderator) {
+            return Err(RejectReason::DuplicateEntry);
+        }
+        if e.made_at > horizon {
+            return Err(RejectReason::FutureTimestamp);
+        }
+        if !replay_window.is_zero() && e.made_at.saturating_add(replay_window) < now {
+            return Err(RejectReason::StaleTimestamp);
+        }
+    }
+    Ok(())
+}
+
+/// Validate an inbound VoxPopuli top-K response: at most `k` ranked
+/// moderators, each at most once, ids inside the population bound.
+pub fn validate_topk(list: &TopKList, k: usize, max_id: usize) -> Result<(), RejectReason> {
+    if list.len() > k {
+        return Err(RejectReason::ListTooLong);
+    }
+    let mut seen = BTreeSet::new();
+    for &m in &list.ranked {
+        if m.index() >= max_id {
+            return Err(RejectReason::InvalidNode);
+        }
+        if !seen.insert(m) {
+            return Err(RejectReason::DuplicateEntry);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vote::Vote;
+    use rvs_sim::NodeId;
+
+    fn entry(m: u32, at: SimTime) -> VoteEntry {
+        VoteEntry {
+            moderator: NodeId(m),
+            vote: Vote::Positive,
+            made_at: at,
+        }
+    }
+
+    const NOW: SimTime = SimTime::from_hours(10);
+
+    fn check(list: &[VoteEntry], window: SimDuration) -> Result<(), RejectReason> {
+        validate_vote_list(list, 50, 100, NOW, SimDuration::ZERO, window)
+    }
+
+    #[test]
+    fn honest_list_is_accepted() {
+        let list: Vec<VoteEntry> = (0..50).map(|m| entry(m, SimTime::from_hours(1))).collect();
+        assert_eq!(check(&list, SimDuration::ZERO), Ok(()));
+        assert_eq!(check(&[], SimDuration::ZERO), Ok(()));
+    }
+
+    #[test]
+    fn overlong_list_is_rejected() {
+        let list: Vec<VoteEntry> = (0..51).map(|m| entry(m, SimTime::ZERO)).collect();
+        assert_eq!(
+            check(&list, SimDuration::ZERO),
+            Err(RejectReason::ListTooLong)
+        );
+    }
+
+    #[test]
+    fn duplicate_moderator_is_rejected() {
+        let list = [entry(3, SimTime::ZERO), entry(3, SimTime::ZERO)];
+        assert_eq!(
+            check(&list, SimDuration::ZERO),
+            Err(RejectReason::DuplicateEntry)
+        );
+    }
+
+    #[test]
+    fn out_of_population_moderator_is_rejected() {
+        let list = [entry(100, SimTime::ZERO)];
+        assert_eq!(
+            check(&list, SimDuration::ZERO),
+            Err(RejectReason::InvalidNode)
+        );
+    }
+
+    #[test]
+    fn future_timestamp_is_rejected_with_skew_honoured() {
+        let list = [entry(1, NOW.saturating_add(SimDuration::from_secs(1)))];
+        assert_eq!(
+            check(&list, SimDuration::ZERO),
+            Err(RejectReason::FutureTimestamp)
+        );
+        assert_eq!(
+            validate_vote_list(
+                &list,
+                50,
+                100,
+                NOW,
+                SimDuration::from_secs(1),
+                SimDuration::ZERO
+            ),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn stale_timestamp_only_with_window() {
+        let ancient = [entry(1, SimTime::ZERO)];
+        // Window disabled: arbitrarily old votes are legitimate.
+        assert_eq!(check(&ancient, SimDuration::ZERO), Ok(()));
+        assert_eq!(
+            check(&ancient, SimDuration::from_hours(1)),
+            Err(RejectReason::StaleTimestamp)
+        );
+        // A vote inside the window passes.
+        let recent = [entry(1, NOW.saturating_add(SimDuration::ZERO))];
+        assert_eq!(check(&recent, SimDuration::from_hours(1)), Ok(()));
+    }
+
+    #[test]
+    fn topk_gate() {
+        let ok = TopKList {
+            ranked: vec![NodeId(1), NodeId(2), NodeId(3)],
+        };
+        assert_eq!(validate_topk(&ok, 3, 100), Ok(()));
+        assert_eq!(validate_topk(&ok, 2, 100), Err(RejectReason::ListTooLong));
+        let dup = TopKList {
+            ranked: vec![NodeId(1), NodeId(1)],
+        };
+        assert_eq!(
+            validate_topk(&dup, 3, 100),
+            Err(RejectReason::DuplicateEntry)
+        );
+        let oob = TopKList {
+            ranked: vec![NodeId(7)],
+        };
+        assert_eq!(validate_topk(&oob, 3, 7), Err(RejectReason::InvalidNode));
+        let empty = TopKList { ranked: vec![] };
+        assert_eq!(validate_topk(&empty, 3, 1), Ok(()));
+    }
+}

@@ -20,6 +20,7 @@ pub const PROTOCOL_CRATES: &[&str] = &[
     "bittorrent",
     "faults",
     "checkpoint",
+    "guard",
 ];
 
 /// Which part of the workspace a rule applies to.

@@ -391,6 +391,7 @@ const CONFIG_STRUCTS: &[(&str, &str)] = &[
     ("crates/bartercast/src/protocol.rs", "BarterCastConfig"),
     ("crates/core/src/protocol.rs", "VoteSamplingConfig"),
     ("crates/faults/src/config.rs", "FaultConfig"),
+    ("crates/guard/src/config.rs", "GuardConfig"),
 ];
 
 /// Paper parameters: (struct, field, symbol DESIGN.md must use).

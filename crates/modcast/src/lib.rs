@@ -23,8 +23,10 @@ pub mod db;
 pub mod moderation;
 pub mod protocol;
 pub mod sign;
+pub mod validate;
 
 pub use db::{InsertOutcome, LocalDb, LocalVote, MergeStats};
 pub use moderation::{ContentQuality, Moderation, ModerationId};
 pub use protocol::{ModerationCast, ModerationCastConfig};
 pub use sign::{KeyRegistry, Signature};
+pub use validate::validate_moderation_list;

@@ -115,9 +115,47 @@ impl ModerationCast {
         m
     }
 
+    /// The push half of an exchange: node `i`'s outgoing moderation
+    /// list, extracted with the configured recency+random policy. The
+    /// list *is* the wire message — the scenario engine hands it to the
+    /// guard plane (and any adversarial mutator) before delivery.
+    pub fn extract_from(&mut self, i: NodeId, rng: &mut DetRng) -> Vec<Moderation> {
+        self.dbs[i.index()].extract(self.cfg.max_list, self.cfg.policy, rng)
+    }
+
+    /// The pull half of an exchange: deliver `list` to `receiver` —
+    /// signature-check every entry, drop forged ones, merge the rest
+    /// through the approval gate. Returns the number newly stored.
+    pub fn deliver_list(
+        &mut self,
+        registry: &KeyRegistry,
+        receiver: NodeId,
+        list: &[Moderation],
+        now: SimTime,
+    ) -> usize {
+        let sent = list.len() as u64;
+        self.counters.pushed += sent;
+        self.counters.signature_verifies += sent;
+        let verified: Vec<Moderation> = list
+            .iter()
+            .copied()
+            .filter(|m| m.verify(registry))
+            .collect();
+        let received = verified.len() as u64;
+        self.counters.signature_failures += sent - received;
+        self.counters.pulled += received;
+        let stats = self.dbs[receiver.index()].merge_counted(&verified, now);
+        self.counters.rejected_by_gate += stats.refused_by_gate as u64;
+        stats.stored
+    }
+
     /// One push/pull gossip exchange between `i` and `j` (Fig 1): both
     /// extract, both merge, signatures verified, forged items dropped.
-    /// Returns `(new_at_i, new_at_j)`.
+    /// Composed from [`ModerationCast::extract_from`] and
+    /// [`ModerationCast::deliver_list`] in the historical order (extract
+    /// `i` then `j`, deliver into `i` then `j`), so the recomposition is
+    /// draw-for-draw and counter-for-counter identical to the old inline
+    /// body. Returns `(new_at_i, new_at_j)`.
     pub fn exchange(
         &mut self,
         registry: &KeyRegistry,
@@ -129,23 +167,11 @@ impl ModerationCast {
         if i == j {
             return (0, 0);
         }
-        let list_i = self.dbs[i.index()].extract(self.cfg.max_list, self.cfg.policy, rng);
-        let list_j = self.dbs[j.index()].extract(self.cfg.max_list, self.cfg.policy, rng);
-        let sent = (list_i.len() + list_j.len()) as u64;
-        self.counters.pushed += sent;
-        self.counters.signature_verifies += sent;
-        let verified_j: Vec<Moderation> =
-            list_j.into_iter().filter(|m| m.verify(registry)).collect();
-        let verified_i: Vec<Moderation> =
-            list_i.into_iter().filter(|m| m.verify(registry)).collect();
-        let received = (verified_i.len() + verified_j.len()) as u64;
-        self.counters.signature_failures += sent - received;
-        self.counters.pulled += received;
-        let stats_i = self.dbs[i.index()].merge_counted(&verified_j, now);
-        let stats_j = self.dbs[j.index()].merge_counted(&verified_i, now);
-        self.counters.rejected_by_gate +=
-            (stats_i.refused_by_gate + stats_j.refused_by_gate) as u64;
-        (stats_i.stored, stats_j.stored)
+        let list_i = self.extract_from(i, rng);
+        let list_j = self.extract_from(j, rng);
+        let stored_i = self.deliver_list(registry, i, &list_j, now);
+        let stored_j = self.deliver_list(registry, j, &list_i, now);
+        (stored_i, stored_j)
     }
 
     /// How many nodes store at least one item from `moderator` — the

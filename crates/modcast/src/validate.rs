@@ -1,0 +1,127 @@
+//! Hostile-input gate for inbound moderation lists.
+//!
+//! A moderation list is the push half of a ModerationCast exchange.
+//! Before any entry reaches a local database the whole list passes this
+//! gate: length bound, moderator-id bound, one entry per moderation id,
+//! timestamp sanity, and a signature check against the simulated PKI.
+//! The gate is total — never panics, first violation wins — and pure,
+//! taking the receiver's clock and bounds as parameters.
+
+use crate::moderation::Moderation;
+use crate::sign::KeyRegistry;
+use rvs_guard::RejectReason;
+use rvs_sim::{SimDuration, SimTime};
+use std::collections::BTreeSet;
+
+/// Validate an inbound moderation list: at most `max_len` entries, every
+/// moderator id under `max_id` (exclusive), each `(moderator, seq)` id
+/// at most once, `created` no further than `max_skew` past `now`, and a
+/// valid signature per entry. Signature checks run last so a mutation
+/// that also breaks the signature is attributed to its structural cause.
+pub fn validate_moderation_list(
+    list: &[Moderation],
+    registry: &KeyRegistry,
+    max_len: usize,
+    max_id: usize,
+    now: SimTime,
+    max_skew: SimDuration,
+) -> Result<(), RejectReason> {
+    if list.len() > max_len {
+        return Err(RejectReason::ListTooLong);
+    }
+    let horizon = now.saturating_add(max_skew);
+    let mut seen = BTreeSet::new();
+    for m in list {
+        if m.moderator.index() >= max_id {
+            return Err(RejectReason::InvalidNode);
+        }
+        if !seen.insert((m.moderator, m.seq)) {
+            return Err(RejectReason::DuplicateEntry);
+        }
+        if m.created > horizon {
+            return Err(RejectReason::FutureTimestamp);
+        }
+        if !m.verify(registry) {
+            return Err(RejectReason::BadSignature);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moderation::ContentQuality;
+    use rvs_sim::{NodeId, SwarmId};
+
+    const NOW: SimTime = SimTime::from_hours(5);
+
+    fn setup() -> (KeyRegistry, Vec<Moderation>) {
+        let reg = KeyRegistry::new(8, 42);
+        let list: Vec<Moderation> = (0..4)
+            .map(|i| {
+                Moderation::new(
+                    &reg,
+                    NodeId(i),
+                    i,
+                    SwarmId(100 + i),
+                    SimTime::from_hours(1),
+                    ContentQuality::Genuine,
+                )
+            })
+            .collect();
+        (reg, list)
+    }
+
+    fn check(reg: &KeyRegistry, list: &[Moderation]) -> Result<(), RejectReason> {
+        validate_moderation_list(list, reg, 50, 8, NOW, SimDuration::ZERO)
+    }
+
+    #[test]
+    fn honest_list_is_accepted() {
+        let (reg, list) = setup();
+        assert_eq!(check(&reg, &list), Ok(()));
+        assert_eq!(check(&reg, &[]), Ok(()));
+    }
+
+    #[test]
+    fn overlong_list_is_rejected() {
+        let (reg, list) = setup();
+        assert_eq!(
+            validate_moderation_list(&list, &reg, 3, 8, NOW, SimDuration::ZERO),
+            Err(RejectReason::ListTooLong)
+        );
+    }
+
+    #[test]
+    fn duplicate_id_is_rejected() {
+        let (reg, mut list) = setup();
+        list.push(list[0]);
+        assert_eq!(check(&reg, &list), Err(RejectReason::DuplicateEntry));
+    }
+
+    #[test]
+    fn out_of_population_moderator_is_rejected() {
+        let (reg, list) = setup();
+        assert_eq!(
+            validate_moderation_list(&list, &reg, 50, 2, NOW, SimDuration::ZERO),
+            Err(RejectReason::InvalidNode)
+        );
+    }
+
+    #[test]
+    fn future_created_is_rejected_before_signature() {
+        let (reg, mut list) = setup();
+        // Bumping `created` also breaks the signature; the gate must
+        // attribute the structural cause, not the knock-on one.
+        list[0].created = NOW.saturating_add(SimDuration::from_secs(1));
+        assert_eq!(check(&reg, &list), Err(RejectReason::FutureTimestamp));
+    }
+
+    #[test]
+    fn bad_signature_is_rejected() {
+        let (reg, mut list) = setup();
+        list[2].sig.0 ^= 0xDEAD_BEEF;
+        assert_eq!(check(&reg, &list), Err(RejectReason::BadSignature));
+    }
+}

@@ -18,9 +18,11 @@
 
 pub mod newscast;
 pub mod oracle;
+pub mod validate;
 
 pub use newscast::{NewscastConfig, NewscastPss};
 pub use oracle::OraclePss;
+pub use validate::validate_view;
 
 use rvs_sim::{DetRng, NodeId};
 

@@ -239,13 +239,30 @@ impl rvs_checkpoint::Persist for NewscastPss {
     }
 
     fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        let cfg = NewscastConfig {
+            view_size: dec.usize()?,
+        };
+        let views: Vec<Vec<Entry>> = Vec::restore(dec)?;
+        let online: Vec<bool> = Vec::restore(dec)?;
+        let counters = PssCounters::restore(dec)?;
+        // Views are wire state: run each through the same structural gate
+        // inbound views pass, so a damaged or adversarial checkpoint
+        // surfaces as a typed error instead of a corrupt overlay.
+        let population = views.len();
+        for (i, view) in views.iter().enumerate() {
+            let peers: Vec<NodeId> = view.iter().map(|e| e.peer).collect();
+            if let Err(reason) = crate::validate::validate_view(&peers, population, cfg.view_size) {
+                return Err(rvs_checkpoint::DecodeError::Corrupt(format!(
+                    "newscast view of node {i} invalid: {}",
+                    reason.as_str()
+                )));
+            }
+        }
         Ok(NewscastPss {
-            cfg: NewscastConfig {
-                view_size: dec.usize()?,
-            },
-            views: Vec::restore(dec)?,
-            online: Vec::restore(dec)?,
-            counters: PssCounters::restore(dec)?,
+            cfg,
+            views,
+            online,
+            counters,
         })
     }
 }

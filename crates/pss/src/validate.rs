@@ -1,0 +1,61 @@
+//! Hostile-input gate for peer-sampling views.
+//!
+//! A Newscast view is the wire message of a PSS exchange: a bounded list
+//! of peer descriptors. This gate checks the structural invariants every
+//! honest view satisfies — length within the view bound, peer ids inside
+//! the population, no duplicate peers — and is also applied when views
+//! are restored from checkpoint bytes, so a damaged or adversarial
+//! checkpoint surfaces as a typed error instead of corrupt overlay
+//! state. Total and pure: never panics, first violation wins.
+
+use rvs_guard::RejectReason;
+use rvs_sim::NodeId;
+use std::collections::BTreeSet;
+
+/// Validate a view's peer list: at most `cap` entries, every peer id
+/// under `population` (exclusive), each peer at most once.
+pub fn validate_view(peers: &[NodeId], population: usize, cap: usize) -> Result<(), RejectReason> {
+    if peers.len() > cap {
+        return Err(RejectReason::ListTooLong);
+    }
+    let mut seen = BTreeSet::new();
+    for &p in peers {
+        if p.index() >= population {
+            return Err(RejectReason::InvalidNode);
+        }
+        if !seen.insert(p) {
+            return Err(RejectReason::DuplicateEntry);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_view_is_accepted() {
+        let v = [NodeId(0), NodeId(4), NodeId(2)];
+        assert_eq!(validate_view(&v, 5, 20), Ok(()));
+        assert_eq!(validate_view(&[], 5, 20), Ok(()));
+    }
+
+    #[test]
+    fn overlong_view_is_rejected() {
+        let v: Vec<NodeId> = (0..21).map(NodeId).collect();
+        assert_eq!(validate_view(&v, 100, 20), Err(RejectReason::ListTooLong));
+    }
+
+    #[test]
+    fn out_of_population_peer_is_rejected() {
+        let v = [NodeId(5)];
+        assert_eq!(validate_view(&v, 5, 20), Err(RejectReason::InvalidNode));
+    }
+
+    #[test]
+    fn duplicate_peer_is_rejected() {
+        let v = [NodeId(1), NodeId(1)];
+        assert_eq!(validate_view(&v, 5, 20), Err(RejectReason::DuplicateEntry));
+    }
+}

@@ -4,17 +4,18 @@
 use crate::audit::Auditor;
 use crate::checkpoint::Checkpoint;
 use crate::config::{ProtocolConfig, ScenarioSetup};
-use rvs_attacks::FlashCrowd;
-use rvs_bartercast::{AdaptiveThreshold, BarterCast};
+use rvs_attacks::{FlashCrowd, Flooder, Malformer};
+use rvs_bartercast::{validate_records, AdaptiveThreshold, BarterCast};
 use rvs_bittorrent::BitTorrentNet;
 use rvs_checkpoint::Persist as _;
-use rvs_core::{BallotBox, VoteEntry, VoteSampling};
+use rvs_core::{validate_topk, validate_vote_list, BallotBox, VoteEntry, VoteSampling};
 use rvs_faults::{
     Backoff, BackoffDecision, FaultConfig, FaultLane, FaultPlane, FaultSchedule, PartitionView,
     SendOutcome,
 };
+use rvs_guard::{Governor, GuardConfig, MessageClass, RejectReason};
 use rvs_metrics::{collective_experience_value, correct_ordering_fraction, pollution_fraction};
-use rvs_modcast::{KeyRegistry, LocalVote, ModerationCast};
+use rvs_modcast::{validate_moderation_list, KeyRegistry, LocalVote, ModerationCast};
 use rvs_pss::{NewscastConfig, NewscastPss, OraclePss};
 use rvs_sim::{pool, DetRng, Engine, ModeratorId, NodeId, Pool, SimTime};
 use rvs_telemetry::{EncounterCounters, FaultCounters, PhaseTimer, Snapshot};
@@ -27,12 +28,10 @@ use std::sync::Arc;
 const AUDIT_CACHE_NODES_PER_ROUND: usize = 2;
 /// Cached `(i, j)` pairs re-derived per sampled evaluator.
 const AUDIT_CACHE_PAIRS_PER_NODE: usize = 2;
-/// Per-node bound on the message-id dedup window. Ids are monotone, so
-/// evicting the smallest keeps the most recent ids — the only ones a
-/// late-arriving duplicate can realistically carry.
-const SEEN_WINDOW: usize = 512;
 /// Bound on each node's remembered VoxPopuli decliners (responder
-/// rotation state).
+/// rotation state). The message-id dedup window is bounded too, but its
+/// cap is configurable — see [`GuardConfig::seen_window`] and
+/// [`System::mark_seen`].
 const DECLINER_WINDOW: usize = 8;
 
 /// Events routed through the fault-plane delivery engine.
@@ -270,6 +269,23 @@ pub struct System {
     /// Per-node responder-rotation memory: peers that recently declined a
     /// VoxPopuli request and should not be re-asked immediately.
     vox_decliners: Vec<BTreeSet<NodeId>>,
+
+    // Byzantine message plane. With the default (disabled) GuardConfig
+    // the governor admits everything, the gates never run, and the
+    // encounter takes the exact legacy path.
+    guard: Governor,
+    /// The flooding adversary, when armed: extra gossip initiations per
+    /// member per round, routed through the normal send path.
+    flooder: Option<Flooder>,
+    /// The wire mutator, when armed: structured corruption applied to
+    /// guarded sub-messages before admission.
+    malformer: Option<Malformer>,
+    /// Dedicated RNG lane for malformation decisions, so arming the
+    /// malformer never perturbs honest protocol draws.
+    rng_malform: DetRng,
+    /// Per-node count of scheduled (in-flight) deliveries headed to the
+    /// node — the bounded-inbox gauge the guard's `inbox_cap` polices.
+    inbox_load: Vec<u32>,
 }
 
 impl System {
@@ -412,6 +428,11 @@ impl System {
             seen_msgs: vec![BTreeSet::new(); n_total],
             vox_backoff: vec![Backoff::new(); n_total],
             vox_decliners: vec![BTreeSet::new(); n_total],
+            guard: Governor::new(n_total, GuardConfig::default()),
+            flooder: None,
+            malformer: None,
+            rng_malform: root.fork(7),
+            inbox_load: vec![0; n_total],
         }
     }
 
@@ -493,6 +514,13 @@ impl System {
         self.seen_msgs.persist(&mut enc);
         self.vox_backoff.persist(&mut enc);
         self.vox_decliners.persist(&mut enc);
+
+        enc.tag("guard");
+        self.guard.persist(&mut enc);
+        self.flooder.persist(&mut enc);
+        self.malformer.persist(&mut enc);
+        self.rng_malform.persist(&mut enc);
+        self.inbox_load.persist(&mut enc);
 
         Checkpoint {
             bytes: enc.into_bytes(),
@@ -576,6 +604,13 @@ impl System {
         let seen_msgs: Vec<BTreeSet<u64>> = Vec::restore(&mut dec)?;
         let vox_backoff: Vec<Backoff> = Vec::restore(&mut dec)?;
         let vox_decliners: Vec<BTreeSet<NodeId>> = Vec::restore(&mut dec)?;
+
+        dec.tag("guard")?;
+        let guard = Governor::restore(&mut dec)?;
+        let flooder: Option<Flooder> = Option::restore(&mut dec)?;
+        let malformer: Option<Malformer> = Option::restore(&mut dec)?;
+        let rng_malform = DetRng::restore(&mut dec)?;
+        let inbox_load: Vec<u32> = Vec::restore(&mut dec)?;
         dec.finish()?;
 
         // Cross-field consistency: a blob that decodes field-by-field can
@@ -603,6 +638,8 @@ impl System {
             ("dedup windows", seen_msgs.len()),
             ("backoff states", vox_backoff.len()),
             ("decliner windows", vox_decliners.len()),
+            ("guard records", guard.len()),
+            ("inbox gauges", inbox_load.len()),
         ] {
             if len != n_total {
                 return Err(corrupt(format!("{name} {len} != total nodes {n_total}")));
@@ -687,6 +724,11 @@ impl System {
             seen_msgs,
             vox_backoff,
             vox_decliners,
+            guard,
+            flooder,
+            malformer,
+            rng_malform,
+            inbox_load,
         })
     }
 
@@ -741,6 +783,7 @@ impl System {
                 Pss::Oracle(_) => Default::default(),
             },
             faults: self.faults.counters().clone(),
+            guard: self.guard.counters().clone(),
             phase_nanos: self.timer.phases().clone(),
         }
     }
@@ -748,6 +791,50 @@ impl System {
     /// The fault-injection plane (partition state and fault counters).
     pub fn fault_plane(&self) -> &FaultPlane {
         &self.faults
+    }
+
+    /// The Byzantine guard plane (per-peer budgets, quarantine state,
+    /// rejection counters).
+    pub fn guard(&self) -> &Governor {
+        &self.guard
+    }
+
+    /// Arm (or re-arm) the guard plane. Re-arming resets every peer's
+    /// budgets to the new config; rejection counters are kept. With
+    /// `enabled == false` the engine takes the exact legacy path.
+    pub fn set_guard_config(&mut self, cfg: GuardConfig) {
+        self.guard.set_config(cfg);
+    }
+
+    /// Size of the largest per-node dedup window right now. Bounded by
+    /// [`GuardConfig::seen_window`] at all times — the flood regression
+    /// tests assert this never exceeds the configured cap.
+    pub fn max_seen_window(&self) -> usize {
+        self.seen_msgs.iter().map(BTreeSet::len).max().unwrap_or(0)
+    }
+
+    /// Arm the flooding adversary: each member initiates `per_round`
+    /// extra gossip sends per round through the normal send path.
+    pub fn set_flooder(&mut self, flooder: Flooder) {
+        self.flooder = Some(flooder);
+    }
+
+    /// The flooding adversary, when armed.
+    pub fn flooder(&self) -> Option<&Flooder> {
+        self.flooder.as_ref()
+    }
+
+    /// Arm the wire mutator: guarded sub-messages are structurally
+    /// corrupted at its configured rate before admission. Only effective
+    /// while the guard plane is enabled (the mutation point sits on the
+    /// gated delivery path).
+    pub fn set_malformer(&mut self, malformer: Malformer) {
+        self.malformer = Some(malformer);
+    }
+
+    /// The wire mutator, when armed.
+    pub fn malformer(&self) -> Option<&Malformer> {
+        self.malformer.as_ref()
     }
 
     /// Scheduled primary deliveries still in flight.
@@ -1054,6 +1141,12 @@ impl System {
     /// in ascending sender order — the canonical `(round, sender, seq)`
     /// merge order that makes results independent of thread count.
     fn gossip_round(&mut self) {
+        // Quarantine bookkeeping first: refill budgets, decay strikes,
+        // release served sentences — and re-validate what released peers
+        // left behind (see `revalidate_released`).
+        for q in self.guard.on_round(self.now) {
+            self.revalidate_released(q);
+        }
         self.pss.gossip_round(self.now, &mut self.rng_pss);
         self.publish_due_moderations();
         self.cast_due_votes();
@@ -1062,18 +1155,23 @@ impl System {
             // Attempt 1 is the initial send; retries re-enter via dispatch.
             self.apply_outcome(i, j, 1, outcome);
         }
+        // Flood traffic rides after the honest plan, strictly serial, so
+        // the per-peer draw order is independent of thread count.
+        self.run_flooder_sends();
         if self.adaptive.is_some() {
             self.observe_dispersion();
         }
         if let Some(aud) = &mut self.audit {
             let e = &self.enc;
             let f = self.faults.counters();
+            let g = self.guard.counters();
             let now = self.now;
             let in_flight = self.pending_primary;
             // Fault-aware conservation: every attempt is delivered, dropped
             // for an attributed reason, or still in flight. Duplicate
             // copies are outside the identity by construction — they never
-            // touch `attempted` or `delivered`.
+            // touch `attempted` or `delivered` (a duplicate shed by a full
+            // inbox lands in `inbox_dropped_dup`, also outside it).
             let accounted = e.delivered
                 + e.dropped_no_sample
                 + e.dropped_offline_target
@@ -1082,11 +1180,13 @@ impl System {
                 + f.dropped_burst
                 + f.partitioned
                 + f.dropped_expired
+                + g.inbox_dropped
                 + in_flight;
             aud.check(e.attempted == accounted, || {
                 format!(
                     "encounter conservation broken at {now}: {e:?} faults {f:?} \
-                     in-flight {in_flight}"
+                     inbox-dropped {} in-flight {in_flight}",
+                    g.inbox_dropped
                 )
             });
             // Sampled cache coherence: pick a few evaluators, re-derive a
@@ -1238,24 +1338,44 @@ impl System {
             } => {
                 let id = self.next_msg_id;
                 self.next_msg_id += 1;
+                let inbox_full = |load: &[u32], guard: &Governor| {
+                    guard.enabled() && load[j.index()] >= guard.config().inbox_cap
+                };
                 if let Some(extra) = duplicate_delay {
-                    self.fault_events.schedule_at(
-                        self.now.saturating_add(extra),
-                        FaultEvent::Deliver {
-                            id,
-                            from: i,
-                            to: j,
-                            attempt,
-                            primary: false,
-                        },
-                    );
+                    if inbox_full(&self.inbox_load, &self.guard) {
+                        // Fixed drop policy: a full inbox sheds the newest
+                        // arrival. Duplicates are outside the conservation
+                        // identity, so this gets its own counter.
+                        self.guard.counters_mut().inbox_dropped_dup += 1;
+                    } else {
+                        self.inbox_load[j.index()] += 1;
+                        self.fault_events.schedule_at(
+                            self.now.saturating_add(extra),
+                            FaultEvent::Deliver {
+                                id,
+                                from: i,
+                                to: j,
+                                attempt,
+                                primary: false,
+                            },
+                        );
+                    }
                 }
                 if delay.is_zero() {
                     // Zero-latency fast path: the legacy synchronous
                     // exchange, applied inside the sending gossip round.
                     self.apply_message(id, i, j);
                     self.enc.delivered += 1;
+                } else if inbox_full(&self.inbox_load, &self.guard) {
+                    // The primary copy is shed before scheduling: the
+                    // attempt resolves as an attributed drop (the
+                    // `inbox_dropped` term of the conservation identity)
+                    // and feeds the retry path like any other loss.
+                    self.guard
+                        .note_rejection(j, RejectReason::InboxOverflow, self.now);
+                    self.maybe_retry(i, j, attempt);
                 } else {
+                    self.inbox_load[j.index()] += 1;
                     self.pending_primary += 1;
                     self.fault_events.schedule_at(
                         self.now.saturating_add(delay),
@@ -1290,6 +1410,8 @@ impl System {
 
     /// A scheduled copy (primary or duplicate) of message `id` arrives.
     fn handle_delivery(&mut self, id: u64, from: NodeId, to: NodeId, attempt: u32, primary: bool) {
+        // Every scheduled copy occupied an inbox slot; arriving frees it.
+        self.inbox_load[to.index()] = self.inbox_load[to.index()].saturating_sub(1);
         if primary {
             self.pending_primary -= 1;
         }
@@ -1356,6 +1478,20 @@ impl System {
         }
         self.mark_seen(from, id);
         self.mark_seen(to, id);
+        // Quarantined peers are cut off at the application gate: they
+        // neither push nor pull until released. The message still counts
+        // as delivered (the network did its job); the refusal is
+        // attributed to the quarantine counter.
+        if self.guard.enabled() {
+            let q_from = self.guard.is_quarantined(from, self.now);
+            let q_to = self.guard.is_quarantined(to, self.now);
+            if q_from || q_to {
+                let culprit = if q_from { from } else { to };
+                self.guard
+                    .note_rejection(culprit, RejectReason::Quarantined, self.now);
+                return;
+            }
+        }
         self.encounter(from, to);
     }
 
@@ -1363,10 +1499,17 @@ impl System {
         self.seen_msgs[node.index()].contains(&id)
     }
 
+    /// Record `id` in `node`'s dedup window, evicting the smallest id
+    /// beyond the configured cap. Ids are monotone, so evicting the
+    /// smallest keeps the most recent ids — the only ones a late-arriving
+    /// duplicate can realistically carry. The cap is
+    /// [`GuardConfig::seen_window`] (in force even while the rest of the
+    /// plane is disabled; the default reproduces the historical bound).
     fn mark_seen(&mut self, node: NodeId, id: u64) {
+        let cap = (self.guard.config().seen_window as usize).max(1);
         let window = &mut self.seen_msgs[node.index()];
         window.insert(id);
-        while window.len() > SEEN_WINDOW {
+        while window.len() > cap {
             window.pop_first();
         }
     }
@@ -1431,6 +1574,9 @@ impl System {
         self.seen_msgs[node.index()].clear();
         self.vox_backoff[node.index()] = Backoff::new();
         self.vox_decliners[node.index()].clear();
+        // Guard state is volatile by design: a rebooted peer returns with
+        // fresh budgets and no strikes or quarantine history.
+        self.guard.crash_reset(node);
         self.faults.counters_mut().crash_restarts += 1;
     }
 
@@ -1464,8 +1610,20 @@ impl System {
         }
     }
 
-    /// A full protocol encounter between online nodes `i` (active) and `j`.
+    /// A full protocol encounter between online nodes `i` (active) and
+    /// `j`. With the guard plane disabled this is the exact legacy
+    /// exchange; with it enabled, every sub-message crosses a typed
+    /// validation gate and the sender's rate budget first.
     fn encounter(&mut self, i: NodeId, j: NodeId) {
+        if self.guard.enabled() {
+            self.encounter_guarded(i, j);
+        } else {
+            self.encounter_plain(i, j);
+        }
+    }
+
+    /// The legacy ungated encounter (guard plane disabled).
+    fn encounter_plain(&mut self, i: NodeId, j: NodeId) {
         // BarterCast: refresh own records, then swap them.
         self.bc.sync_own_records(i, self.net.ledger());
         self.bc.sync_own_records(j, self.net.ledger());
@@ -1545,19 +1703,326 @@ impl System {
                 j,
                 (e_i_accepts_j, e_j_accepts_i),
                 (pre_j_in_i, pre_i_in_j),
+                (true, true),
                 vox_breach,
             );
         }
     }
 
+    /// The gated encounter (guard plane enabled). Structure mirrors
+    /// [`System::encounter_plain`], but each sub-message first crosses
+    /// the wire (where an armed [`Malformer`] may corrupt it), then the
+    /// sender's admission budget, then the class's typed validation gate;
+    /// only accepted messages reach the protocol layer, and each
+    /// rejection is attributed to exactly one [`RejectReason`] counter.
+    /// The responding half of an exchange runs only when the initiating
+    /// half was accepted — a peer does not answer a message it refused.
+    fn encounter_guarded(&mut self, i: NodeId, j: NodeId) {
+        // BarterCast: refresh own records, then swap them, each
+        // direction gated.
+        self.bc.sync_own_records(i, self.net.ledger());
+        self.bc.sync_own_records(j, self.net.ledger());
+        self.bc.mark_exchange();
+        if self.deliver_barter_half(i, j) {
+            self.deliver_barter_half(j, i);
+        }
+
+        // ModerationCast push/pull (extraction order matches the plain
+        // path: i's list first, then j's, both from the gossip stream).
+        let mods_i = self.mc.extract_from(i, &mut self.rng_gossip);
+        let mods_j = self.mc.extract_from(j, &mut self.rng_gossip);
+        if self.deliver_moderations_half(i, j, mods_i) {
+            self.deliver_moderations_half(j, i, mods_j);
+        }
+
+        // Vote sampling: experience computed before any merge.
+        let e_i_accepts_j = self.experienced(i, j);
+        let e_j_accepts_i = self.experienced(j, i);
+        let pre = self.audit.is_some().then(|| {
+            (
+                votes_from(self.vs.ballot(i), j),
+                votes_from(self.vs.ballot(j), i),
+            )
+        });
+        let list_i = self.outgoing_vote_list(i);
+        let list_j = self.outgoing_vote_list(j);
+        let votes_i_to_j = self.deliver_votes_half(i, j, list_i, e_j_accepts_i);
+        let votes_j_to_i = votes_i_to_j && self.deliver_votes_half(j, i, list_j, e_i_accepts_j);
+
+        // VoxPopuli bootstrap, with the response intercepted on the wire
+        // and gated like any other inbound message.
+        let mut vox_breach = false;
+        if self.cfg.vox_enabled && !self.is_crowd(i) && self.vs.needs_bootstrap(i) {
+            if self.is_crowd(j) {
+                let crowd = self.crowd.as_ref().expect("crowd member implies crowd");
+                let list = crowd.topk_response(&[], self.cfg.votes.k);
+                self.deliver_topk_half(i, j, list);
+            } else if let Some(rc) = self.faults.config().retry {
+                // Same backoff/rotation degradation as the plain path; a
+                // gate rejection reads as an unhelpful responder.
+                let idx = i.index();
+                if self.vox_backoff[idx].ready(self.now) && !self.vox_decliners[idx].contains(&j) {
+                    let j_bootstrapping = self.vs.needs_bootstrap(j);
+                    self.vox_backoff[idx].on_attempt(self.now, &rc);
+                    let answered = self.vox_exchange_guarded(i, j);
+                    vox_breach = answered && j_bootstrapping;
+                    if answered {
+                        self.vox_backoff[idx].on_success();
+                        self.vox_decliners[idx].clear();
+                    } else {
+                        let decliners = &mut self.vox_decliners[idx];
+                        decliners.insert(j);
+                        while decliners.len() > DECLINER_WINDOW {
+                            decliners.pop_first();
+                        }
+                        match self.vox_backoff[idx].on_failure(self.now, &rc) {
+                            BackoffDecision::Retry => self.faults.counters_mut().retries += 1,
+                            BackoffDecision::GaveUp => {
+                                self.faults.counters_mut().backoff_gaveups += 1;
+                                self.vox_decliners[idx].clear();
+                            }
+                        }
+                    }
+                }
+            } else {
+                let j_bootstrapping = self.vs.needs_bootstrap(j);
+                let answered = self.vox_exchange_guarded(i, j);
+                vox_breach = answered && j_bootstrapping;
+            }
+        }
+
+        if let Some((pre_j_in_i, pre_i_in_j)) = pre {
+            self.audit_encounter(
+                i,
+                j,
+                (e_i_accepts_j, e_j_accepts_i),
+                (pre_j_in_i, pre_i_in_j),
+                (votes_j_to_i, votes_i_to_j),
+                vox_breach,
+            );
+        }
+    }
+
+    /// Pass one outbound payload across the (possibly hostile) wire:
+    /// when the malformer is armed it draws once per message and may
+    /// corrupt it in place via `mutate`.
+    fn cross_wire<T>(
+        &mut self,
+        payload: &mut T,
+        mutate: impl FnOnce(&Malformer, &mut T, SimTime, &mut DetRng) -> bool,
+    ) {
+        if let Some(m) = self.malformer {
+            if m.should_mutate(&mut self.rng_malform)
+                && mutate(&m, payload, self.now, &mut self.rng_malform)
+            {
+                self.guard.counters_mut().malformer_mutations += 1;
+            }
+        }
+    }
+
+    /// One gated BarterCast half: `s`'s own records into `r`. Returns
+    /// whether the message was accepted.
+    fn deliver_barter_half(&mut self, s: NodeId, r: NodeId) -> bool {
+        let mut recs = self.bc.own_records(s);
+        self.cross_wire(&mut recs, |m, p, _, rng| m.mutate_records(p, s, rng));
+        if let Err(reason) = self.guard.admit(s, MessageClass::BarterRecords, self.now) {
+            self.guard.note_rejection(s, reason, self.now);
+            return false;
+        }
+        // An honest record set holds at most two directed edges per
+        // counterparty, hence the 2n length bound.
+        let max_kib = self.guard.config().max_record_kib;
+        match validate_records(&recs, s, 2 * self.n_total, self.n_total, max_kib) {
+            Ok(()) => {
+                self.guard.note_accepted();
+                self.bc.deliver_records(r, s, &recs);
+                true
+            }
+            Err(reason) => {
+                self.guard.note_rejection(s, reason, self.now);
+                false
+            }
+        }
+    }
+
+    /// One gated ModerationCast half: `s`'s extracted list into `r`.
+    /// Returns whether the message was accepted.
+    fn deliver_moderations_half(
+        &mut self,
+        s: NodeId,
+        r: NodeId,
+        mut list: Vec<rvs_modcast::Moderation>,
+    ) -> bool {
+        self.cross_wire(&mut list, |m, p, now, rng| {
+            m.mutate_moderations(p, now, rng)
+        });
+        if let Err(reason) = self.guard.admit(s, MessageClass::Moderations, self.now) {
+            self.guard.note_rejection(s, reason, self.now);
+            return false;
+        }
+        let skew = self.guard.config().max_timestamp_skew;
+        match validate_moderation_list(
+            &list,
+            &self.registry,
+            self.cfg.modcast.max_list,
+            self.n_total,
+            self.now,
+            skew,
+        ) {
+            Ok(()) => {
+                self.guard.note_accepted();
+                self.mc.deliver_list(&self.registry, r, &list, self.now);
+                true
+            }
+            Err(reason) => {
+                self.guard.note_rejection(s, reason, self.now);
+                false
+            }
+        }
+    }
+
+    /// One gated vote-list half: `s`'s local votes into `r`'s ballot
+    /// (`experienced` is `E_r(s)`). Returns whether the message was
+    /// accepted by the gate — the experience function then decides the
+    /// merge, exactly as on the plain path.
+    fn deliver_votes_half(
+        &mut self,
+        s: NodeId,
+        r: NodeId,
+        mut list: Vec<VoteEntry>,
+        experienced: bool,
+    ) -> bool {
+        self.cross_wire(&mut list, |m, p, now, rng| m.mutate_votes(p, now, rng));
+        if let Err(reason) = self.guard.admit(s, MessageClass::VoteList, self.now) {
+            self.guard.note_rejection(s, reason, self.now);
+            return false;
+        }
+        let gcfg = *self.guard.config();
+        match validate_vote_list(
+            &list,
+            self.n_total,
+            self.n_total,
+            self.now,
+            gcfg.max_timestamp_skew,
+            gcfg.replay_window,
+        ) {
+            Ok(()) => {
+                self.guard.note_accepted();
+                self.vs
+                    .deliver_vote_list(s, r, &list, self.now, experienced);
+                true
+            }
+            Err(reason) => {
+                self.guard.note_rejection(s, reason, self.now);
+                false
+            }
+        }
+    }
+
+    /// One gated top-K response from `s` to bootstrapping `r` with an
+    /// explicit (external or fabricated) list. Returns whether it was
+    /// accepted and delivered.
+    fn deliver_topk_half(&mut self, r: NodeId, s: NodeId, mut list: rvs_core::TopKList) -> bool {
+        self.cross_wire(&mut list, |m, p, _, rng| m.mutate_topk(p, rng));
+        if let Err(reason) = self.guard.admit(s, MessageClass::TopK, self.now) {
+            self.guard.note_rejection(s, reason, self.now);
+            return false;
+        }
+        match validate_topk(&list, self.cfg.votes.k, self.n_total) {
+            Ok(()) => {
+                self.guard.note_accepted();
+                self.vs.deliver_external_topk(r, list);
+                true
+            }
+            Err(reason) => {
+                self.guard.note_rejection(s, reason, self.now);
+                false
+            }
+        }
+    }
+
+    /// A guarded honest VoxPopuli round trip: `j`'s top-K response is
+    /// intercepted on the wire and gated before delivery. Returns whether
+    /// a valid response reached `i` (declines and gate rejections both
+    /// read as "not answered" to the backoff logic).
+    fn vox_exchange_guarded(&mut self, i: NodeId, j: NodeId) -> bool {
+        match self.vs.topk_response(j) {
+            Some(list) => self.deliver_topk_half(i, j, list),
+            None => {
+                self.vs.note_vox_decline();
+                false
+            }
+        }
+    }
+
+    /// Extra gossip initiations from the flooding crowd, after the honest
+    /// plan. Flood traffic uses each flooder's own send lane and the
+    /// normal fault-plane path — loss, partitions, retries, and the
+    /// conservation identity all apply.
+    fn run_flooder_sends(&mut self) {
+        let Some(f) = &self.flooder else { return };
+        let per_round = f.per_round();
+        let members: Vec<NodeId> = f.members().filter(|m| m.index() < self.n_total).collect();
+        for m in members {
+            if !self.is_online(m) {
+                continue;
+            }
+            for _ in 0..per_round {
+                self.guard.counters_mut().flooder_sends += 1;
+                self.enc.attempted += 1;
+                let Some(j) = self.pss.sample_from(m, &mut self.send_rng[m.index()]) else {
+                    self.enc.dropped_no_sample += 1;
+                    continue;
+                };
+                if j == m {
+                    self.enc.dropped_self_target += 1;
+                    continue;
+                }
+                if !self.is_online(j) {
+                    self.enc.dropped_offline_target += 1;
+                    continue;
+                }
+                self.dispatch(m, j, 1);
+            }
+        }
+    }
+
+    /// A peer released from quarantine gets what it previously deposited
+    /// re-validated: with [`VoteSamplingConfig::revalidate`] set, every
+    /// evaluator that no longer finds the peer experienced sheds the
+    /// peer's votes from its ballot — acceptance during good standing is
+    /// not a permanent grant.
+    ///
+    /// [`VoteSamplingConfig::revalidate`]: rvs_core::VoteSamplingConfig
+    fn revalidate_released(&mut self, q: NodeId) {
+        self.guard.counters_mut().release_revalidations += 1;
+        if !self.cfg.votes.revalidate {
+            return;
+        }
+        for idx in 0..self.n_total {
+            let i = NodeId::from_index(idx);
+            if i == q {
+                continue;
+            }
+            if votes_from(self.vs.ballot(i), q) > 0 && !self.experienced(i, q) {
+                self.vs.ballot_mut(i).forget_voter(q);
+                self.guard.counters_mut().release_forgets += 1;
+            }
+        }
+    }
+
     /// Post-encounter invariant checks (audit mode only): ballot bound,
-    /// experience gating, and VoxPopuli bootstrap honesty.
+    /// experience gating, and VoxPopuli bootstrap honesty. `delivered`
+    /// marks which vote lists actually crossed the guard gate
+    /// (`(j→i, i→j)`; both true on the ungated path) — the gating checks
+    /// only constrain halves that were delivered.
     fn audit_encounter(
         &mut self,
         i: NodeId,
         j: NodeId,
         (e_i_accepts_j, e_j_accepts_i): (bool, bool),
         (pre_j_in_i, pre_i_in_j): (usize, usize),
+        (delivered_j_to_i, delivered_i_to_j): (bool, bool),
         vox_breach: bool,
     ) {
         let b_max = self.cfg.votes.b_max;
@@ -1576,7 +2041,7 @@ impl System {
         });
         // A rejected sender must not add votes: untouched without
         // revalidation, shed entirely with it.
-        if !e_i_accepts_j {
+        if delivered_j_to_i && !e_i_accepts_j {
             let ok = if revalidate {
                 post_j_in_i == 0
             } else {
@@ -1589,7 +2054,7 @@ impl System {
                 )
             });
         }
-        if !e_j_accepts_i {
+        if delivered_i_to_j && !e_j_accepts_i {
             let ok = if revalidate {
                 post_i_in_j == 0
             } else {
@@ -1632,5 +2097,116 @@ impl System {
     /// Current adaptive thresholds (ablation A1), if enabled.
     pub fn adaptive_thresholds(&self) -> Option<&[AdaptiveThreshold]> {
         self.adaptive.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::vote_sampling::fig6_setup;
+    use rvs_core::Vote;
+    use rvs_sim::SimDuration;
+    use rvs_trace::TraceGenConfig;
+
+    /// Satellite regression: accept → quarantine → release. A vote list
+    /// accepted before its sender was quarantined must be re-validated
+    /// when the quarantine lifts — with `revalidate` on, entries no
+    /// first-hand experience backs are shed and the shedding is
+    /// attributed to `release_forgets`.
+    #[test]
+    fn quarantine_release_revalidates_unbacked_votes() {
+        let seed = 9;
+        let trace = TraceGenConfig::quick(8, SimDuration::from_hours(2)).generate(seed);
+        let (setup, moderators) = fig6_setup(&trace, 0.25, 0.25, seed);
+        let mut protocol = ProtocolConfig {
+            experience_t_mib: 1.0,
+            ..ProtocolConfig::default()
+        };
+        protocol.votes.revalidate = true;
+        let mut system = System::new(trace, protocol, setup, seed);
+        system.set_guard_config(GuardConfig::active());
+
+        let observer = NodeId::from_index(0);
+        let suspect = NodeId::from_index(5);
+        // Accept: the suspect's list lands in the observer's ballot. The
+        // delivery-time experience flag was true, but no transfer backs
+        // it, so the post-release re-validation must find nothing
+        // first-hand and shed the voter.
+        let list = [VoteEntry {
+            moderator: moderators[0],
+            vote: Vote::Positive,
+            made_at: system.now,
+        }];
+        system
+            .vs
+            .deliver_vote_list(suspect, observer, &list, system.now, true);
+        assert_eq!(votes_from(system.vs.ballot(observer), suspect), 1);
+
+        // Quarantine: strike the suspect up to the threshold.
+        for _ in 0..system.guard.config().strike_threshold {
+            system
+                .guard
+                .note_rejection(suspect, RejectReason::RateLimited, system.now);
+        }
+        assert!(system.guard.is_quarantined(suspect, system.now));
+        assert_eq!(system.guard.counters().quarantines_started, 1);
+
+        // Release: advance past the base quarantine and run the
+        // per-round maintenance hook exactly as `gossip_round` does.
+        system.now = system.now.saturating_add(SimDuration::from_hours(8));
+        let released = system.guard.on_round(system.now);
+        assert_eq!(released, vec![suspect]);
+        for peer in released {
+            system.revalidate_released(peer);
+        }
+
+        assert_eq!(
+            votes_from(system.vs.ballot(observer), suspect),
+            0,
+            "unbacked votes must be shed on release"
+        );
+        assert_eq!(system.guard.counters().quarantines_released, 1);
+        assert_eq!(system.guard.counters().release_revalidations, 1);
+        assert_eq!(system.guard.counters().release_forgets, 1);
+    }
+
+    /// Without `revalidate`, release keeps previously accepted votes —
+    /// the shedding is an explicit opt-in policy, not a side effect.
+    #[test]
+    fn quarantine_release_keeps_votes_without_revalidate() {
+        let seed = 9;
+        let trace = TraceGenConfig::quick(8, SimDuration::from_hours(2)).generate(seed);
+        let (setup, moderators) = fig6_setup(&trace, 0.25, 0.25, seed);
+        let protocol = ProtocolConfig {
+            experience_t_mib: 1.0,
+            ..ProtocolConfig::default()
+        };
+        let mut system = System::new(trace, protocol, setup, seed);
+        system.set_guard_config(GuardConfig::active());
+
+        let observer = NodeId::from_index(0);
+        let suspect = NodeId::from_index(5);
+        let list = [VoteEntry {
+            moderator: moderators[0],
+            vote: Vote::Positive,
+            made_at: system.now,
+        }];
+        system
+            .vs
+            .deliver_vote_list(suspect, observer, &list, system.now, true);
+
+        for _ in 0..system.guard.config().strike_threshold {
+            system
+                .guard
+                .note_rejection(suspect, RejectReason::RateLimited, system.now);
+        }
+        system.now = system.now.saturating_add(SimDuration::from_hours(8));
+        for peer in system.guard.on_round(system.now) {
+            system.revalidate_released(peer);
+        }
+
+        assert_eq!(votes_from(system.vs.ballot(observer), suspect), 1);
+        assert_eq!(system.guard.counters().release_revalidations, 1);
+        assert_eq!(system.guard.counters().release_forgets, 0);
     }
 }

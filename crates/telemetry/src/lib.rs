@@ -200,6 +200,63 @@ counter_block! {
     }
 }
 
+counter_block! {
+    /// Byzantine guard-plane activity, owned by `guard::Governor` (with
+    /// the inbox and attack counters incremented by `scenario::System`).
+    /// One `rejected_*` counter per `RejectReason` variant: every refused
+    /// message is attributed to exactly one of them.
+    pub struct GuardCounters {
+        /// Messages that passed admission and validation.
+        pub accepted,
+        /// Rejections: list exceeded its wire-length bound.
+        pub rejected_list_too_long,
+        /// Rejections: duplicate-entry stuffing inside one message.
+        pub rejected_duplicate_entry,
+        /// Rejections: timestamp beyond the allowed future skew.
+        pub rejected_future_timestamp,
+        /// Rejections: timestamp outside the replay window.
+        pub rejected_stale_timestamp,
+        /// Rejections: signature check failed against the claimed signer.
+        pub rejected_bad_signature,
+        /// Rejections: node/moderator id outside the population (+ slack).
+        pub rejected_invalid_node,
+        /// Rejections: record with identical endpoints (self-barter).
+        pub rejected_self_reference,
+        /// Rejections: BarterCast record not incident to its reporter.
+        pub rejected_hearsay_record,
+        /// Rejections: numeric field past its sanity bound.
+        pub rejected_oversized,
+        /// Rejections: bytes that did not decode as the claimed message.
+        pub rejected_malformed,
+        /// Rejections: sender's per-class token bucket was empty.
+        pub rejected_rate_limited,
+        /// Rejections: sender was quarantined.
+        pub rejected_quarantined,
+        /// Primary deliveries dropped at a full bounded inbox (this term
+        /// joins the encounter conservation identity).
+        pub inbox_dropped,
+        /// Duplicate deliveries dropped at a full bounded inbox (outside
+        /// the conservation identity, like all duplicates).
+        pub inbox_dropped_dup,
+        /// Offense strikes taken across all peers.
+        pub strikes,
+        /// Quarantines entered.
+        pub quarantines_started,
+        /// Quarantines served and released.
+        pub quarantines_released,
+        /// Peer-rounds spent in quarantine (a time-integral gauge).
+        pub quarantine_rounds,
+        /// Released peers whose accepted votes were re-validated.
+        pub release_revalidations,
+        /// Ballot entries forgotten during release re-validation.
+        pub release_forgets,
+        /// Extra gossip initiations injected by `Flooder` adversaries.
+        pub flooder_sends,
+        /// Wire messages mutated by the `Malformer` adversary.
+        pub malformer_mutations,
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Shared atomic counter for `&self` hot paths
 // ---------------------------------------------------------------------------
@@ -273,6 +330,8 @@ pub struct Snapshot {
     pub pss: PssCounters,
     /// Fault-injection-plane counters.
     pub faults: FaultCounters,
+    /// Byzantine guard-plane counters.
+    pub guard: GuardCounters,
     /// Wall-clock time per named phase, in nanoseconds.
     pub phase_nanos: BTreeMap<String, u64>,
 }
@@ -287,6 +346,7 @@ impl Snapshot {
         self.barter.merge_from(&other.barter);
         self.pss.merge_from(&other.pss);
         self.faults.merge_from(&other.faults);
+        self.guard.merge_from(&other.guard);
         for (phase, nanos) in &other.phase_nanos {
             let slot = self.phase_nanos.entry(phase.clone()).or_insert(0);
             *slot = slot.saturating_add(*nanos);

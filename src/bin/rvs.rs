@@ -11,9 +11,11 @@
 //! way to poke at the system without writing code; the experiment
 //! binaries in `rvs-bench` regenerate the paper's figures.
 
+use robust_vote_sampling::attacks::{Flooder, Malformer};
 use robust_vote_sampling::checkpoint::FORMAT_VERSION;
 use robust_vote_sampling::core::ModeratorBoard;
 use robust_vote_sampling::faults::FaultSchedule;
+use robust_vote_sampling::guard::GuardConfig;
 use robust_vote_sampling::metrics::TimeSeries;
 use robust_vote_sampling::scenario::checkpoint::{
     golden_checkpoint, golden_file_name, GOLDEN_SEEDS,
@@ -63,20 +65,30 @@ USAGE:
     rvs stats  [--seed N] [--traces N]
         dataset statistics over N traces (the paper's §VI summary)
     rvs run    [--seed N] [--peers N] [--hours N] [--t-mib X] [--loss X]
-               [--faults FILE] [--threads N] [--telemetry FILE|-]
-               [--checkpoint-every N] [--checkpoint-dir D] [--resume FILE]
+               [--faults FILE] [--guard on|FILE] [--threads N]
+               [--telemetry FILE|-] [--checkpoint-every N]
+               [--checkpoint-dir D] [--resume FILE]
         full-stack Figure 6 scenario; prints the accuracy curve and the
         best-informed node's moderator board. --faults loads a JSON
         FaultSchedule (latency/jitter, loss, burst loss, duplication,
         partitions, crash-restarts, retry/backoff; see DESIGN.md §10)
         and routes every delivery through the fault-injection plane.
+        --guard arms the Byzantine message plane (DESIGN.md §13): `on`
+        uses the built-in active preset, otherwise FILE is a GuardConfig
+        JSON naming every knob.
         --checkpoint-every N writes a checkpoint every N simulated hours
         into --checkpoint-dir (default `.`); --resume FILE restores a
         checkpoint and continues the run to --hours — byte-identical to
         never having stopped (DESIGN.md §12), on any --threads
     rvs attack [--seed N] [--peers N] [--core N] [--crowd N] [--hours N]
-               [--threads N] [--telemetry FILE|-]
-        Figure 8 flash-crowd scenario; prints the pollution curve
+               [--flood N] [--flood-rate N] [--malform PM]
+               [--guard on|FILE] [--threads N] [--telemetry FILE|-]
+        Figure 8 flash-crowd scenario; prints the pollution curve.
+        --flood N turns the N highest-index trace peers into flooders
+        (--flood-rate extra sends per member per round, default 12);
+        --malform PM mutates PM per mille of guarded wire messages.
+        Either attack arms the guard plane's active preset unless
+        --guard overrides it; rejection counters land in --telemetry
     rvs ckpt inspect FILE
         print a checkpoint's header summary (any format version)
     rvs ckpt regen [--dir D]
@@ -136,6 +148,35 @@ fn apply_threads(system: &mut System, flags: &BTreeMap<String, String>) {
     if threads > 0 {
         system.set_threads(threads.min(64));
     }
+}
+
+/// Honour `--guard on|FILE`: arm the Byzantine guard plane with the
+/// built-in active preset, or with a `GuardConfig` JSON file (a config
+/// file names every knob — start from the JSON of the active preset).
+fn apply_guard(system: &mut System, flags: &BTreeMap<String, String>) -> Result<(), ExitCode> {
+    let Some(spec) = flags.get("guard") else {
+        return Ok(());
+    };
+    let cfg = if spec == "on" {
+        GuardConfig::active()
+    } else {
+        let text = match std::fs::read_to_string(spec) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("failed to read guard config {spec}: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        };
+        match serde_json::from_str(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("invalid guard config {spec}: {e}");
+                return Err(ExitCode::FAILURE);
+            }
+        }
+    };
+    system.set_guard_config(cfg);
+    Ok(())
 }
 
 fn trace_cfg(flags: &BTreeMap<String, String>) -> TraceGenConfig {
@@ -244,6 +285,9 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
         )
     };
     apply_threads(&mut system, &flags);
+    if let Err(code) = apply_guard(&mut system, &flags) {
+        return code;
+    }
     let end = SimTime::from_hours(hours);
     let sample = SimDuration::from_hours((hours / 12).max(1));
     let ckpt_every: u64 = get(&flags, "checkpoint-every", 0);
@@ -383,6 +427,28 @@ fn cmd_attack(flags: &BTreeMap<String, String>) -> ExitCode {
     }
     let mut system = System::new(trace, protocol, setup, seed);
     apply_threads(&mut system, &flags);
+    // Byzantine adversaries: flooders are the highest-index trace peers
+    // (the founder core occupies the low indices), the malformer mutates
+    // guarded wire messages at the given per-mille rate. Either attack
+    // needs the guard plane up to be observable, so arm the active
+    // preset unless --guard picked a config explicitly.
+    let flood: usize = get(&flags, "flood", 0);
+    let flood_rate: u32 = get(&flags, "flood-rate", 12);
+    let malform: u32 = get(&flags, "malform", 0);
+    let n_trace = system.trace_peer_count();
+    if flood > 0 {
+        let members = (n_trace.saturating_sub(flood)..n_trace).map(NodeId::from_index);
+        system.set_flooder(Flooder::new(members, flood_rate));
+    }
+    if malform > 0 {
+        system.set_malformer(Malformer::new(malform.min(1000)));
+    }
+    if (flood > 0 || malform > 0) && !flags.contains_key("guard") {
+        system.set_guard_config(GuardConfig::active());
+    }
+    if let Err(code) = apply_guard(&mut system, &flags) {
+        return code;
+    }
     let mut series = TimeSeries::new(format!("crowd={crowd}/core={core}"));
     system.run_until(
         SimTime::from_hours(hours),
@@ -391,6 +457,20 @@ fn cmd_attack(flags: &BTreeMap<String, String>) -> ExitCode {
     );
     println!("proportion of newly arrived honest nodes ranking spam top:");
     print!("{}", TimeSeries::render_table(&[&series]));
+    if system.guard().enabled() {
+        let g = system.guard().counters();
+        println!(
+            "\nguard plane: {} accepted, {} rate-limited, {} dropped-in-quarantine, \
+             {} quarantines started ({} released), {} flood sends, {} wire mutations",
+            g.accepted,
+            g.rejected_rate_limited,
+            g.rejected_quarantined,
+            g.quarantines_started,
+            g.quarantines_released,
+            g.flooder_sends,
+            g.malformer_mutations,
+        );
+    }
     if let Err(code) = dump_telemetry(&system, &flags) {
         return code;
     }

@@ -20,7 +20,10 @@
 //! * [`bartercast`] — contribution graphs, bounded maxflow, experience.
 //! * [`modcast`] — signed moderations and approval-gated dissemination.
 //! * [`core`] — BallotBox / VoxPopuli vote sampling and ranking.
-//! * [`attacks`] — flash crowds, Sybils, moles, lying aggregation.
+//! * [`guard`] — Byzantine message plane: typed validation gates,
+//!   per-peer rate budgets, deterministic quarantine.
+//! * [`attacks`] — flash crowds, Sybils, moles, floods, wire mutation,
+//!   lying aggregation.
 //! * [`metrics`] — CEV, ordering accuracy, pollution, series statistics.
 //! * [`telemetry`] — per-protocol counters, mergeable snapshots, timers.
 //! * [`scenario`] — full-system wiring reproducing the paper's figures.
@@ -44,6 +47,7 @@ pub use rvs_bittorrent as bittorrent;
 pub use rvs_checkpoint as checkpoint;
 pub use rvs_core as core;
 pub use rvs_faults as faults;
+pub use rvs_guard as guard;
 pub use rvs_metrics as metrics;
 pub use rvs_modcast as modcast;
 pub use rvs_pss as pss;

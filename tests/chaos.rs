@@ -7,9 +7,11 @@
 //! converge; the same seed must replay to byte-identical telemetry.
 
 use proptest::prelude::*;
+use robust_vote_sampling::attacks::{Flooder, Malformer};
 use robust_vote_sampling::faults::{
     BurstLoss, CrashSpec, FaultConfig, FaultSchedule, PartitionSpec, RetryConfig,
 };
+use robust_vote_sampling::guard::GuardConfig;
 use robust_vote_sampling::scenario::experiments::vote_sampling::fig6_setup;
 use robust_vote_sampling::scenario::{ProtocolConfig, System};
 use rvs_sim::{NodeId, SimDuration, SimTime};
@@ -261,4 +263,193 @@ proptest! {
             b.telemetry_snapshot().counters_only().to_json_compact()
         );
     }
+}
+
+/// Guard preset for the byzantine scenario: active defaults with a
+/// deliberately small inbox so flood pressure exercises the bounded-inbox
+/// drop policy, not just the token buckets.
+fn byzantine_guard() -> GuardConfig {
+    GuardConfig {
+        inbox_cap: 8,
+        ..GuardConfig::active()
+    }
+}
+
+/// The acceptance attack run: >20% of the population floods (5 of 24
+/// peers at 12 extra sends per round), the wire mutates 10% of guarded
+/// sub-messages, all stacked on top of the full chaos fault soup.
+fn byzantine_run(
+    seed: u64,
+    hours: u64,
+    threads: usize,
+    attack: bool,
+    guard: GuardConfig,
+) -> (System, f64) {
+    let trace = TraceGenConfig::quick(24, SimDuration::from_hours(hours)).generate(seed);
+    let (setup, m) = fig6_setup(&trace, 0.25, 0.25, seed);
+    let protocol = ProtocolConfig {
+        experience_t_mib: 1.0,
+        ..ProtocolConfig::default()
+    };
+    let mut system = System::with_faults(trace, protocol, setup, seed, chaos_schedule());
+    system.set_threads(threads);
+    system.set_guard_config(guard);
+    if attack {
+        system.set_flooder(Flooder::new((19..24).map(NodeId::from_index), 12));
+        system.set_malformer(Malformer::new(100));
+    }
+    system.enable_audit();
+    system.run_until(
+        SimTime::from_hours(hours),
+        SimDuration::from_hours(hours),
+        |_, _| {},
+    );
+    let acc = system.ordering_accuracy(&m);
+    (system, acc)
+}
+
+#[test]
+fn byzantine_schedule_survives_with_typed_attribution() {
+    for seed in SEEDS {
+        let (system, acc) = byzantine_run(seed, 36, 1, true, byzantine_guard());
+        assert_clean_audit(&system);
+
+        let snap = system.telemetry_snapshot();
+        let g = &snap.guard;
+        // The adversaries actually fired...
+        assert!(g.flooder_sends > 0, "seed {seed}: flooder never sent");
+        assert!(
+            g.malformer_mutations > 0,
+            "seed {seed}: malformer never mutated"
+        );
+        // ...and every defense layer pushed back with a typed reason.
+        assert!(
+            g.rejected_rate_limited > 0,
+            "seed {seed}: token buckets never engaged"
+        );
+        assert!(
+            g.quarantines_started > 0,
+            "seed {seed}: no flooder was ever quarantined"
+        );
+        assert!(
+            g.rejected_quarantined > 0,
+            "seed {seed}: quarantine never refused traffic"
+        );
+        assert!(
+            g.quarantines_released > 0,
+            "seed {seed}: capped quarantines must eventually release"
+        );
+        let structural = g.rejected_list_too_long
+            + g.rejected_duplicate_entry
+            + g.rejected_future_timestamp
+            + g.rejected_stale_timestamp
+            + g.rejected_bad_signature
+            + g.rejected_invalid_node
+            + g.rejected_self_reference
+            + g.rejected_hearsay_record
+            + g.rejected_oversized
+            + g.rejected_malformed;
+        assert!(
+            structural > 0,
+            "seed {seed}: wire mutation never tripped a structural gate"
+        );
+        assert!(g.accepted > 0, "seed {seed}: honest traffic starved");
+        assert!(
+            g.inbox_dropped > 0,
+            "seed {seed}: bounded inbox never engaged under flood"
+        );
+        assert!(
+            system.max_seen_window() <= GuardConfig::default().seen_window as usize,
+            "seed {seed}: dedup window exceeded its cap"
+        );
+
+        // Conservation, extended with the guard's inbox drops: every
+        // attempt (honest or flood) delivered, dropped for an attributed
+        // reason, or still in flight.
+        let e = &snap.encounters;
+        let f = &snap.faults;
+        assert_eq!(
+            e.attempted,
+            e.delivered
+                + snap.total_dropped()
+                + f.dropped_burst
+                + f.partitioned
+                + f.dropped_expired
+                + g.inbox_dropped
+                + system.in_flight(),
+            "seed {seed}: conservation identity broken under attack: {e:?} / {g:?}"
+        );
+
+        // The honest ranking survives the attack: absolute convergence
+        // holds and the attacked run stays within one rank-pair swap of
+        // the attack-free guarded baseline.
+        let (_, baseline) = byzantine_run(seed, 36, 1, false, byzantine_guard());
+        assert!(
+            acc > 0.5,
+            "seed {seed}: ordering accuracy {acc} <= 0.5 under attack"
+        );
+        assert!(
+            acc >= baseline - 0.34,
+            "seed {seed}: attack degraded accuracy {baseline} -> {acc}"
+        );
+    }
+}
+
+#[test]
+fn byzantine_schedule_is_thread_count_invariant() {
+    // Flood + wire mutation + the full fault soup at 1 worker vs 4
+    // workers: byte-identical telemetry (including every typed guard
+    // counter), bit-identical accuracy.
+    let seed = SEEDS[0];
+    let (serial, acc_1) = byzantine_run(seed, 36, 1, true, byzantine_guard());
+    let (sharded, acc_4) = byzantine_run(seed, 36, 4, true, byzantine_guard());
+    assert_clean_audit(&serial);
+    assert_clean_audit(&sharded);
+    assert_eq!(
+        acc_1.to_bits(),
+        acc_4.to_bits(),
+        "accuracy diverged across thread counts under attack"
+    );
+    assert_eq!(
+        serial
+            .telemetry_snapshot()
+            .counters_only()
+            .to_json_compact(),
+        sharded
+            .telemetry_snapshot()
+            .counters_only()
+            .to_json_compact(),
+        "telemetry diverged across thread counts under the byzantine schedule"
+    );
+    assert_eq!(serial.in_flight(), sharded.in_flight());
+}
+
+#[test]
+fn flooded_dedup_windows_stay_bounded() {
+    // Satellite regression: a deliberately tiny dedup window under flood
+    // and 5% duplication stays at its cap, keeps suppressing duplicates,
+    // and replays byte-identically.
+    let seed = SEEDS[1];
+    let tiny = GuardConfig {
+        seen_window: 32,
+        ..byzantine_guard()
+    };
+    let (a, acc_a) = byzantine_run(seed, 12, 1, true, tiny);
+    assert_clean_audit(&a);
+    assert!(
+        a.max_seen_window() <= 32,
+        "dedup window exceeded the configured cap"
+    );
+    let f = a.telemetry_snapshot().faults;
+    assert!(f.duplicated > 0, "duplication fault never engaged");
+    assert!(
+        f.dedup_suppressed > 0,
+        "eviction broke duplicate suppression entirely"
+    );
+    let (b, acc_b) = byzantine_run(seed, 12, 1, true, tiny);
+    assert_eq!(acc_a, acc_b, "bounded-window run diverged on replay");
+    assert_eq!(
+        a.telemetry_snapshot().counters_only().to_json_compact(),
+        b.telemetry_snapshot().counters_only().to_json_compact()
+    );
 }

@@ -17,9 +17,11 @@
 //! dedicated cases restore on a *different* thread count than the run that
 //! wrote the checkpoint.
 
+use robust_vote_sampling::attacks::{Flooder, Malformer};
 use robust_vote_sampling::faults::{
     BurstLoss, CrashSpec, FaultConfig, FaultSchedule, PartitionSpec, RetryConfig,
 };
+use robust_vote_sampling::guard::GuardConfig;
 use robust_vote_sampling::scenario::experiments::vote_sampling::fig6_setup;
 use robust_vote_sampling::scenario::{Checkpoint, ProtocolConfig, System};
 use rvs_sim::{NodeId, SimDuration, SimTime};
@@ -303,4 +305,74 @@ fn chaos_checkpoint_mid_partition_audits_clean_after_resume() {
     let reference = straight(peers, hours, seed, chaos_schedule());
     let got = finish(resumed, &m, "chaos-mid-partition", seed);
     assert_eq!(reference, got, "mid-partition resume diverged");
+}
+
+/// The byzantine shape: guard armed (small inbox), 4 flooders, 10% wire
+/// mutation, on top of the chaos schedule. Quarantine clocks, strike
+/// counters, token buckets, the malformer RNG lane, and inbox gauges all
+/// have to survive the checkpoint.
+fn build_byzantine(peers: usize, hours: u64, seed: u64) -> (System, [NodeId; 3]) {
+    let (mut system, m) = build(peers, hours, seed, chaos_schedule());
+    system.set_guard_config(GuardConfig {
+        inbox_cap: 8,
+        ..GuardConfig::active()
+    });
+    system.set_flooder(Flooder::new((peers - 4..peers).map(NodeId::from_index), 12));
+    system.set_malformer(Malformer::new(100));
+    (system, m)
+}
+
+#[test]
+fn byzantine_resume_mid_quarantine_is_byte_identical() {
+    // Stop the world while peers sit in active quarantine and strikes /
+    // buckets are partially spent, restore through bytes, and demand the
+    // straight attacked run's exact fingerprint. Any guard state the
+    // checkpoint forgets (a quarantine release clock, a strike count, a
+    // token level, the wire-mutation RNG lane) diverges downstream.
+    let (peers, hours, seed) = (18usize, 18u64, 202u64);
+    let reference = {
+        let (mut system, m) = build_byzantine(peers, hours, seed);
+        advance(&mut system, SimTime::from_hours(hours));
+        finish(system, &m, "byzantine-straight", seed)
+    };
+
+    let (mut system, m) = build_byzantine(peers, hours, seed);
+    let mut at = hours / 6;
+    advance(&mut system, SimTime::from_hours(at));
+    while system.guard().quarantined_count(system.now()) == 0 && at < hours - 2 {
+        at += 1;
+        advance(&mut system, SimTime::from_hours(at));
+    }
+    assert!(
+        system.guard().quarantined_count(system.now()) > 0,
+        "resume point never fell inside an active quarantine"
+    );
+    assert!(
+        system.telemetry_snapshot().guard.quarantines_started > 0,
+        "no quarantine ever started before the checkpoint"
+    );
+
+    let resumed_at = system.now();
+    let mut resumed = roundtrip(&system);
+    assert_eq!(
+        resumed.guard().quarantined_count(resumed_at),
+        system.guard().quarantined_count(resumed_at),
+        "restore changed the set of quarantined peers"
+    );
+    assert_eq!(
+        resumed
+            .telemetry_snapshot()
+            .counters_only()
+            .to_json_compact(),
+        system
+            .telemetry_snapshot()
+            .counters_only()
+            .to_json_compact(),
+        "restore changed the guard counters"
+    );
+    drop(system);
+    resumed.enable_audit();
+    advance(&mut resumed, SimTime::from_hours(hours));
+    let got = finish(resumed, &m, "byzantine-mid-quarantine", seed);
+    assert_eq!(reference, got, "mid-quarantine resume diverged");
 }
