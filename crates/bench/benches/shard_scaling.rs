@@ -1,0 +1,72 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented public items
+
+//! Shard-scaling of the cross-shard message bus on the quick fig6
+//! scenario.
+//!
+//! Before timing anything, the harness asserts the property that makes
+//! the timings comparable at all: every shard count produces the same
+//! telemetry bytes (modulo the `ShardCounters` transport block) and the
+//! same ledger total as the monolithic baseline, so the sweep measures
+//! *only* wall-clock. Numbers are recorded in EXPERIMENTS.md; note that
+//! every planned send — shard-local or not — is serialized through the
+//! canonical codec, so small-K speedups are bounded by that per-envelope
+//! overhead plus the serial barrier drain (Amdahl), and on a small
+//! population the >1-shard legs mostly measure bus overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rvs_scenario::experiments::vote_sampling::fig6_setup;
+use rvs_scenario::{ProtocolConfig, System};
+use rvs_sim::{SimDuration, SimTime};
+use rvs_trace::TraceGenConfig;
+
+const SHARDS: [usize; 3] = [1, 2, 4];
+
+fn run(
+    trace: &rvs_trace::Trace,
+    setup: &rvs_scenario::ScenarioSetup,
+    shards: usize,
+) -> (String, u64) {
+    let mut system = System::new(trace.clone(), ProtocolConfig::default(), setup.clone(), 5);
+    system.set_shards(shards);
+    system.run_until(
+        SimTime::from_hours(6),
+        SimDuration::from_hours(6),
+        |_, _| {},
+    );
+    (
+        system
+            .telemetry_snapshot()
+            .counters_only()
+            .modulo_shards()
+            .to_json_compact(),
+        system.net().ledger().total_kib(),
+    )
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let trace = TraceGenConfig::quick(16, SimDuration::from_hours(6)).generate(5);
+    let (setup, _) = fig6_setup(&trace, 0.25, 0.25, 5);
+
+    // Determinism gate: the sweep is meaningless (and unsafe to publish)
+    // if shard count changed results, so fail loudly before timing.
+    let baseline = run(&trace, &setup, 1);
+    for k in SHARDS {
+        assert_eq!(
+            run(&trace, &setup, k),
+            baseline,
+            "{k}-shard run diverged from the monolithic baseline"
+        );
+    }
+
+    let mut group = c.benchmark_group("shard_scaling");
+    group.sample_size(10);
+    for k in SHARDS {
+        group.bench_function(format!("fig6_16peers_6h_shards{k}"), |b| {
+            b.iter(|| black_box(run(&trace, &setup, k).1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

@@ -8,16 +8,25 @@
 //! towards 1.0 by day 7.
 //!
 //! ```text
-//! cargo run --release -p rvs-bench --bin fig6_vote_sampling [--quick] [--no-cache]
+//! cargo run --release -p rvs-bench --bin fig6_vote_sampling \
+//!     [--quick] [--no-cache] [--peers N] [--shards K] [--runs N] \
+//!     [--hours H] [--audit]
 //! ```
 //!
 //! `--no-cache` disables the incremental contribution cache (every
 //! experience check recomputes its maxflow), for before/after comparisons
-//! of the `maxflow_evaluations` counter.
+//! of the `maxflow_evaluations` counter. `--peers`/`--runs`/`--hours`
+//! rescale the experiment; `--shards K` partitions each run across the
+//! scale-out engine of DESIGN.md §14 (results are identical for every K —
+//! only wall-clock changes); `--audit` runs the invariant auditor and
+//! fails loudly on any violation. The CI scale smoke is
+//! `--quick --peers 10000 --shards 4 --runs 1 --hours 8 --audit`.
 
-use rvs_bench::{header, maybe_write_json, quick_mode, timed};
+use rvs_bench::{flag_usize, header, maybe_write_json, quick_mode, timed};
 use rvs_metrics::TimeSeries;
 use rvs_scenario::{run_vote_sampling, VoteSamplingConfig};
+use rvs_sim::SimDuration;
+use rvs_trace::TraceGenConfig;
 
 fn main() {
     let quick = quick_mode();
@@ -32,6 +41,38 @@ fn main() {
         cfg.protocol = cfg.protocol.without_contribution_cache();
         println!("contribution cache DISABLED (--no-cache)");
     }
+    if let Some(hours) = flag_usize("hours") {
+        cfg.trace.duration = SimDuration::from_hours(hours as u64);
+        cfg.duration = SimDuration::from_hours(hours as u64);
+        cfg.sample_every = SimDuration::from_hours((hours as u64 / 9).max(1));
+    }
+    if let Some(peers) = flag_usize("peers") {
+        // Rebuild the preset so founder count and download pacing rescale
+        // with the population instead of keeping the default-size values.
+        cfg.trace = if quick {
+            TraceGenConfig::quick(peers, cfg.trace.duration)
+        } else {
+            TraceGenConfig {
+                n_peers: peers,
+                duration: cfg.trace.duration,
+                ..TraceGenConfig::filelist_like()
+            }
+        };
+    }
+    if let Some(runs) = flag_usize("runs") {
+        cfg.runs = runs.max(1);
+    }
+    if let Some(shards) = flag_usize("shards") {
+        cfg.shards = shards;
+    }
+    // rvs-lint: allow(ambient-env) -- CLI flag parsing at the binary entry point
+    if std::env::args().any(|a| a == "--audit") {
+        cfg.audit = true;
+        println!("invariant auditor ENABLED (--audit)");
+    }
+    if cfg.shards > 1 {
+        println!("scale-out: {} shards over the cross-shard bus", cfg.shards);
+    }
     println!(
         "trace: {} peers × {} runs; B_min={}, B_max={}, V_max={}, K={}, T={} MiB\n",
         cfg.trace.n_peers,
@@ -43,7 +84,7 @@ fn main() {
         cfg.protocol.experience_t_mib
     );
     let outcome = timed("simulate", || run_vote_sampling(&cfg));
-    maybe_write_json(&(&outcome.typical, &outcome.accuracy));
+    maybe_write_json(&(&outcome.typical, &outcome.accuracy, &outcome.telemetry));
 
     // Three typical runs + the average, like the paper's plot.
     let mut cols: Vec<&TimeSeries> = outcome.typical.iter().take(3).collect();

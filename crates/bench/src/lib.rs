@@ -41,6 +41,27 @@ pub fn maybe_write_json<T: serde::Serialize>(value: &T) {
     }
 }
 
+/// The `usize` value following `--<name>`, if present (e.g. `--peers
+/// 10000`). Exits with a usage error on a malformed value rather than
+/// silently running the wrong experiment.
+pub fn flag_usize(name: &str) -> Option<usize> {
+    let flag = format!("--{name}");
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            let raw = args.next().unwrap_or_default();
+            match raw.parse() {
+                Ok(v) => return Some(v),
+                Err(_) => {
+                    eprintln!("{flag} expects an unsigned integer, got {raw:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
 /// Print a standard experiment header.
 pub fn header(id: &str, title: &str, quick: bool) {
     println!("================================================================");

@@ -302,6 +302,46 @@ impl rvs_checkpoint::Persist for FaultLane {
     }
 }
 
+/// Stable binary encoding: one discriminant byte, then (for `Deliver`) the
+/// primary delay and optional duplicate delay. Used as the body of the
+/// cross-shard bus envelopes (`rvs-shard`), so the discriminant values are
+/// part of the checkpoint wire format — changing them bumps
+/// `rvs_checkpoint::FORMAT_VERSION`.
+impl rvs_checkpoint::Persist for SendOutcome {
+    fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {
+        match self {
+            SendOutcome::DropIndependent => enc.u8(0),
+            SendOutcome::DropBurst => enc.u8(1),
+            SendOutcome::DropPartitioned => enc.u8(2),
+            SendOutcome::Deliver {
+                delay,
+                duplicate_delay,
+            } => {
+                enc.u8(3);
+                delay.persist(enc);
+                duplicate_delay.persist(enc);
+            }
+        }
+    }
+
+    fn restore(dec: &mut rvs_checkpoint::Decoder<'_>) -> Result<Self, rvs_checkpoint::DecodeError> {
+        Ok(match dec.u8()? {
+            0 => SendOutcome::DropIndependent,
+            1 => SendOutcome::DropBurst,
+            2 => SendOutcome::DropPartitioned,
+            3 => SendOutcome::Deliver {
+                delay: SimDuration::restore(dec)?,
+                duplicate_delay: Option::restore(dec)?,
+            },
+            other => {
+                return Err(rvs_checkpoint::DecodeError::Corrupt(format!(
+                    "unknown SendOutcome discriminant {other}"
+                )))
+            }
+        })
+    }
+}
+
 /// Stable binary encoding: member set then the active flag.
 impl rvs_checkpoint::Persist for Partition {
     fn persist(&self, enc: &mut rvs_checkpoint::Encoder) {

@@ -21,6 +21,7 @@ pub const PROTOCOL_CRATES: &[&str] = &[
     "faults",
     "checkpoint",
     "guard",
+    "shard",
 ];
 
 /// Which part of the workspace a rule applies to.

@@ -24,7 +24,7 @@ pub mod summary;
 
 pub use cev::collective_experience_value;
 pub use convergence::{excursion_window_hours, first_crossing, time_above_hours, time_mean};
-pub use ordering::{correct_ordering_fraction, kendall_tau_distance};
+pub use ordering::{correct_ordering_fraction, kendall_tau_distance, orders_correctly};
 pub use pollution::pollution_fraction;
 pub use series::{Sample, TimeSeries};
 pub use summary::Summary;

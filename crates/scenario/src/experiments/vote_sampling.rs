@@ -40,6 +40,14 @@ pub struct VoteSamplingConfig {
     pub sample_every: SimDuration,
     /// Simulated span.
     pub duration: SimDuration,
+    /// Shard count K for the scale-out engine (1 = monolithic). Purely a
+    /// scheduling knob: K can never change results, so curves and
+    /// counters are identical for any value.
+    pub shards: usize,
+    /// Run each trace under the invariant auditor and panic on any
+    /// violation (used by the CI scale smoke; off by default because the
+    /// auditor costs wall-clock).
+    pub audit: bool,
 }
 
 impl VoteSamplingConfig {
@@ -54,6 +62,8 @@ impl VoteSamplingConfig {
             base_seed: 100,
             sample_every: SimDuration::from_hours(2),
             duration: SimDuration::from_days(7),
+            shards: 1,
+            audit: false,
         }
     }
 
@@ -73,6 +83,8 @@ impl VoteSamplingConfig {
             base_seed: seed,
             sample_every: SimDuration::from_hours(4),
             duration: SimDuration::from_hours(36),
+            shards: 1,
+            audit: false,
         }
     }
 }
@@ -155,11 +167,22 @@ fn run_one(cfg: &VoteSamplingConfig, run: usize) -> (TimeSeries, [ModeratorId; 3
     let trace = cfg.trace.generate(seed);
     let (setup, m) = fig6_setup(&trace, cfg.positive_fraction, cfg.negative_fraction, seed);
     let mut system = System::new(trace, cfg.protocol, setup, seed);
+    system.set_shards(cfg.shards);
+    if cfg.audit {
+        system.enable_audit();
+    }
     let mut series = TimeSeries::new(format!("run {run}"));
     let end = SimTime::ZERO + cfg.duration;
     system.run_until(end, cfg.sample_every, |sys, now| {
         series.push(now, sys.ordering_accuracy(&m));
     });
+    if cfg.audit {
+        assert_eq!(
+            system.audit_violations(),
+            &[] as &[String],
+            "invariant violations in run {run} (seed {seed})"
+        );
+    }
     let snapshot = system.telemetry_snapshot().counters_only();
     (series, m, snapshot)
 }

@@ -17,6 +17,7 @@ use rvs_guard::{Governor, GuardConfig, MessageClass, RejectReason};
 use rvs_metrics::{collective_experience_value, correct_ordering_fraction, pollution_fraction};
 use rvs_modcast::{validate_moderation_list, KeyRegistry, LocalVote, ModerationCast};
 use rvs_pss::{NewscastConfig, NewscastPss, OraclePss};
+use rvs_shard::{ShardBus, ShardConfig};
 use rvs_sim::{pool, DetRng, Engine, ModeratorId, NodeId, Pool, SimTime};
 use rvs_telemetry::{EncounterCounters, FaultCounters, PhaseTimer, Snapshot};
 use rvs_trace::{Trace, TraceEventKind};
@@ -286,6 +287,17 @@ pub struct System {
     /// Per-node count of scheduled (in-flight) deliveries headed to the
     /// node — the bounded-inbox gauge the guard's `inbox_cap` polices.
     inbox_load: Vec<u32>,
+
+    // Sharded scale-out plane. Every planned send — intra- or cross-shard
+    // — serializes through the bus with the canonical codec and is
+    // delivered at the round barrier in (round, sender, seq) order, so
+    // K=1 and K>1 share one code path and K can never change results
+    // (proven by tests/shard_differential.rs).
+    bus: ShardBus,
+    /// Shard membership lists, ascending within each shard — a pure
+    /// projection of `(n_total, K)`, rebuilt on `set_shards`/restore and
+    /// deliberately outside the checkpoint.
+    shard_members: Vec<Vec<NodeId>>,
 }
 
 impl System {
@@ -433,6 +445,8 @@ impl System {
             malformer: None,
             rng_malform: root.fork(7),
             inbox_load: vec![0; n_total],
+            bus: ShardBus::new(ShardConfig::default()),
+            shard_members: rvs_shard::members(n_total, 1),
         }
     }
 
@@ -521,6 +535,9 @@ impl System {
         self.malformer.persist(&mut enc);
         self.rng_malform.persist(&mut enc);
         self.inbox_load.persist(&mut enc);
+
+        enc.tag("shard");
+        self.bus.persist(&mut enc);
 
         Checkpoint {
             bytes: enc.into_bytes(),
@@ -611,6 +628,9 @@ impl System {
         let malformer: Option<Malformer> = Option::restore(&mut dec)?;
         let rng_malform = DetRng::restore(&mut dec)?;
         let inbox_load: Vec<u32> = Vec::restore(&mut dec)?;
+
+        dec.tag("shard")?;
+        let bus = ShardBus::restore(&mut dec)?;
         dec.finish()?;
 
         // Cross-field consistency: a blob that decodes field-by-field can
@@ -665,6 +685,12 @@ impl System {
                 "BitTorrent online snapshot {} != substrate population {}",
                 bt_online0.len(),
                 net.online_flags().len()
+            )));
+        }
+        if let Some(env) = bus.queued_envelopes().find(|e| e.sender.index() >= n_total) {
+            return Err(corrupt(format!(
+                "in-flight bus envelope names sender {} outside population {n_total}",
+                env.sender.index()
             )));
         }
 
@@ -729,6 +755,8 @@ impl System {
             malformer,
             rng_malform,
             inbox_load,
+            shard_members: rvs_shard::members(n_total, bus.shards()),
+            bus,
         })
     }
 
@@ -748,6 +776,42 @@ impl System {
     /// The worker-thread count the round engine is using.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Re-partition the population into `shards` deterministic shards
+    /// (clamped to at least 1). Like [`System::set_threads`], this is
+    /// purely a scheduling knob: shard membership is a pure function of
+    /// `(peer id, K)`, every planned send serializes through the bus, and
+    /// delivery order at the round barrier is canonical, so K can never
+    /// change results (proven by `tests/shard_differential.rs`). Legal
+    /// between rounds at any time, including after a restore from a
+    /// checkpoint taken under a different K.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.bus.set_shards(shards);
+        self.shard_members = rvs_shard::members(self.n_total, self.bus.shards());
+    }
+
+    /// The shard count K of the scale-out plane.
+    pub fn shards(&self) -> usize {
+        self.bus.shards()
+    }
+
+    /// The shard owning `node` under the current partition.
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        rvs_shard::route(node, self.bus.shards())
+    }
+
+    /// The members of `shard`, in ascending id order. Observer sampling
+    /// can aggregate per shard through this view; per-shard aggregates
+    /// merge to exactly the global value (see
+    /// [`System::ordering_accuracy_in_shard`]).
+    pub fn shard_members(&self, shard: usize) -> &[NodeId] {
+        &self.shard_members[shard]
+    }
+
+    /// The cross-shard bus (queued envelopes, routing counters).
+    pub fn shard_bus(&self) -> &ShardBus {
+        &self.bus
     }
 
     /// Switch on runtime invariant auditing (idempotent). The [`Auditor`]
@@ -784,6 +848,7 @@ impl System {
             },
             faults: self.faults.counters().clone(),
             guard: self.guard.counters().clone(),
+            shard: self.bus.counters().clone(),
             phase_nanos: self.timer.phases().clone(),
         }
     }
@@ -965,6 +1030,27 @@ impl System {
             .map(|i| self.display_ranking(NodeId::from_index(i)))
             .collect();
         correct_ordering_fraction(rankings.iter().map(|r| r.as_slice()), expected)
+    }
+
+    /// [`System::ordering_accuracy`] restricted to the trace members of
+    /// one shard, as `(correct, sampled)` counts. Count form makes the
+    /// observer shard-aware without losing exactness: summing the counts
+    /// over all shards reproduces the global fraction bit-for-bit (a
+    /// sum of per-shard `f64` fractions would not), which the shard
+    /// differential suite asserts.
+    pub fn ordering_accuracy_in_shard(&self, shard: usize, expected: &[ModeratorId]) -> (u64, u64) {
+        let mut correct = 0u64;
+        let mut total = 0u64;
+        for &n in &self.shard_members[shard] {
+            if n.index() >= self.n_trace {
+                continue;
+            }
+            total += 1;
+            if rvs_metrics::orders_correctly(&self.display_ranking(n), expected) {
+                correct += 1;
+            }
+        }
+        (correct, total)
     }
 
     /// Fraction of *newly arrived honest* nodes (trace peers outside the
@@ -1165,13 +1251,17 @@ impl System {
             let e = &self.enc;
             let f = self.faults.counters();
             let g = self.guard.counters();
+            let s = self.bus.counters();
             let now = self.now;
             let in_flight = self.pending_primary;
+            let bus_in_flight = self.bus.in_flight();
             // Fault-aware conservation: every attempt is delivered, dropped
-            // for an attributed reason, or still in flight. Duplicate
-            // copies are outside the identity by construction — they never
-            // touch `attempted` or `delivered` (a duplicate shed by a full
-            // inbox lands in `inbox_dropped_dup`, also outside it).
+            // for an attributed reason, still in flight (scheduled delivery
+            // or envelope queued on the shard bus at the round cut), or
+            // refused at the bus admission gate. Duplicate copies are
+            // outside the identity by construction — they never touch
+            // `attempted` or `delivered` (a duplicate shed by a full inbox
+            // lands in `inbox_dropped_dup`, also outside it).
             let accounted = e.delivered
                 + e.dropped_no_sample
                 + e.dropped_offline_target
@@ -1181,12 +1271,15 @@ impl System {
                 + f.partitioned
                 + f.dropped_expired
                 + g.inbox_dropped
-                + in_flight;
+                + in_flight
+                + bus_in_flight
+                + s.envelopes_rejected;
             aud.check(e.attempted == accounted, || {
                 format!(
                     "encounter conservation broken at {now}: {e:?} faults {f:?} \
-                     inbox-dropped {} in-flight {in_flight}",
-                    g.inbox_dropped
+                     inbox-dropped {} in-flight {in_flight} bus-in-flight \
+                     {bus_in_flight} bus-rejected {}",
+                    g.inbox_dropped, s.envelopes_rejected
                 )
             });
             // Sampled cache coherence: pick a few evaluators, re-derive a
@@ -1206,12 +1299,17 @@ impl System {
         }
     }
 
-    /// Plan this round's sends in parallel: snapshot the online flags and
-    /// partition state, lend the (read-only) PSS views to the pool, and
-    /// move each sender's RNG lane and fault lane into its shard job. Jobs
-    /// emit per-sender plans plus per-shard counter deltas; both merge
-    /// back in ascending sender order, so the result is a pure function of
-    /// per-peer streams — never of sharding.
+    /// Plan this round's sends shard by shard: snapshot the online flags
+    /// and partition state, lend the (read-only) PSS views to the pool,
+    /// and move each member's RNG lane and fault lane into its shard's
+    /// planning job (sub-chunked across threads). Every planned send —
+    /// fault fate already decided on the sender's own lane, so attribution
+    /// is shard-invariant — is serialized with the canonical codec and
+    /// posted to the [`ShardBus`]; the round barrier drains the bus in
+    /// canonical `(round, sender, seq)` order, which is exactly the
+    /// ascending-sender order of the monolithic engine. The result is a
+    /// pure function of per-peer streams — never of sharding or
+    /// threading.
     fn plan_sends(&mut self) -> Vec<(NodeId, NodeId, SendOutcome)> {
         let n = self.n_total;
         struct SendCtx {
@@ -1221,6 +1319,7 @@ impl System {
             view: PartitionView,
         }
         self.faults.ensure_lanes(n);
+        self.bus.begin_round(self.bus.round() + 1);
         let ctx = Arc::new(SendCtx {
             pss: std::mem::replace(&mut self.pss, Pss::Oracle(OraclePss::new(0))),
             online: (0..n)
@@ -1229,81 +1328,126 @@ impl System {
             cfg: *self.faults.config(),
             view: self.faults.partition_view(),
         });
-        let mut send_rng = std::mem::take(&mut self.send_rng).into_iter();
-        let mut lanes = self.faults.take_lanes().into_iter();
+        // Lane lending, keyed by peer id: each shard job takes exactly its
+        // members' RNG and fault lanes and hands them back with its
+        // results, so every lane advances identically under any K.
+        let mut send_rng: Vec<Option<DetRng>> = std::mem::take(&mut self.send_rng)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let mut lanes: Vec<Option<FaultLane>> =
+            self.faults.take_lanes().into_iter().map(Some).collect();
 
         type ChunkResult = (
-            Vec<DetRng>,
-            Vec<FaultLane>,
+            Vec<(NodeId, DetRng, FaultLane)>,
             Vec<(NodeId, NodeId, SendOutcome)>,
             EncounterCounters,
             FaultCounters,
         );
-        let chunk_count = self.pool.threads().min(n.max(1));
-        let chunk_size = n.max(1).div_ceil(chunk_count);
+        let shards = self.bus.shards();
+        // Sub-chunk each shard's member list so K < threads still keeps
+        // every worker busy; chunk geometry can't affect results (lanes
+        // are per-peer, counters commute, delivery order is canonical).
+        let subs = self.pool.threads().div_ceil(shards).max(1);
         let mut jobs: Vec<Box<dyn FnOnce() -> ChunkResult + Send + 'static>> = Vec::new();
-        let mut base = 0usize;
-        while base < n {
-            let len = chunk_size.min(n - base);
-            let rngs: Vec<DetRng> = send_rng.by_ref().take(len).collect();
-            let chunk_lanes: Vec<FaultLane> = lanes.by_ref().take(len).collect();
-            let ctx = Arc::clone(&ctx);
-            jobs.push(Box::new(move || {
-                let mut rngs = rngs;
-                let mut chunk_lanes = chunk_lanes;
-                let mut plans = Vec::new();
-                let mut enc = EncounterCounters::default();
-                let mut fc = FaultCounters::default();
-                for k in 0..rngs.len() {
-                    let i = NodeId::from_index(base + k);
-                    if !ctx.online[i.index()] {
-                        continue;
+        for members in &self.shard_members {
+            if members.is_empty() {
+                continue;
+            }
+            let chunk_size = members.len().div_ceil(subs.min(members.len()));
+            for chunk in members.chunks(chunk_size) {
+                let owned: Vec<(NodeId, DetRng, FaultLane)> = chunk
+                    .iter()
+                    .map(|&p| {
+                        let rng = send_rng[p.index()]
+                            .take()
+                            .expect("route() puts each peer in exactly one shard");
+                        let lane = lanes[p.index()]
+                            .take()
+                            .expect("route() puts each peer in exactly one shard");
+                        (p, rng, lane)
+                    })
+                    .collect();
+                let ctx = Arc::clone(&ctx);
+                jobs.push(Box::new(move || {
+                    let mut owned = owned;
+                    let mut plans = Vec::new();
+                    let mut enc = EncounterCounters::default();
+                    let mut fc = FaultCounters::default();
+                    for (i, rng, lane) in &mut owned {
+                        let i = *i;
+                        if !ctx.online[i.index()] {
+                            continue;
+                        }
+                        enc.attempted += 1;
+                        let Some(j) = ctx.pss.sample_from(i, rng) else {
+                            enc.dropped_no_sample += 1;
+                            continue;
+                        };
+                        if i == j {
+                            enc.dropped_self_target += 1;
+                            continue;
+                        }
+                        // Contacting an offline peer fails (stale PSS views).
+                        if !ctx.online[j.index()] {
+                            enc.dropped_offline_target += 1;
+                            continue;
+                        }
+                        // Every send routes through the fault plane, which
+                        // decides loss/latency/duplication from the sender's
+                        // own lane — before serialization, so the fate rides
+                        // inside the envelope and is shard-invariant.
+                        let outcome = lane.decide(&ctx.cfg, &ctx.view, &mut fc, i, j);
+                        if matches!(outcome, SendOutcome::DropIndependent) {
+                            // Independent loss keeps its historical home in the
+                            // encounter block (`message_loss` attribution).
+                            enc.dropped_message_loss += 1;
+                        }
+                        plans.push((i, j, outcome));
                     }
-                    enc.attempted += 1;
-                    let Some(j) = ctx.pss.sample_from(i, &mut rngs[k]) else {
-                        enc.dropped_no_sample += 1;
-                        continue;
-                    };
-                    if i == j {
-                        enc.dropped_self_target += 1;
-                        continue;
-                    }
-                    // Contacting an offline peer fails (stale PSS views).
-                    if !ctx.online[j.index()] {
-                        enc.dropped_offline_target += 1;
-                        continue;
-                    }
-                    // Every send routes through the fault plane, which
-                    // decides loss/latency/duplication from the sender's
-                    // own lane.
-                    let outcome = chunk_lanes[k].decide(&ctx.cfg, &ctx.view, &mut fc, i, j);
-                    if matches!(outcome, SendOutcome::DropIndependent) {
-                        // Independent loss keeps its historical home in the
-                        // encounter block (`message_loss` attribution).
-                        enc.dropped_message_loss += 1;
-                    }
-                    plans.push((i, j, outcome));
-                }
-                (rngs, chunk_lanes, plans, enc, fc)
-            }));
-            base += len;
+                    (owned, plans, enc, fc)
+                }));
+            }
         }
 
-        let mut plans = Vec::new();
-        let mut all_rngs = Vec::with_capacity(n);
-        let mut all_lanes = Vec::with_capacity(n);
-        for (rngs, chunk_lanes, chunk_plans, enc, fc) in self.pool.scatter(jobs) {
-            all_rngs.extend(rngs);
-            all_lanes.extend(chunk_lanes);
-            plans.extend(chunk_plans);
+        for (owned, chunk_plans, enc, fc) in self.pool.scatter(jobs) {
+            for (p, rng, lane) in owned {
+                send_rng[p.index()] = Some(rng);
+                lanes[p.index()] = Some(lane);
+            }
+            for (i, j, outcome) in chunk_plans {
+                // The inter-shard wire format: the canonical codec over
+                // (target, fate), framed by the envelope header.
+                self.bus.post(i, j, rvs_checkpoint::to_bytes(&(j, outcome)));
+            }
             self.enc.merge_from(&enc);
             self.faults.counters_mut().merge_from(&fc);
         }
-        self.send_rng = all_rngs;
-        self.faults.restore_lanes(all_lanes);
+        self.send_rng = send_rng
+            .into_iter()
+            .map(|o| o.expect("every lent lane came back with its job"))
+            .collect();
+        self.faults.restore_lanes(
+            lanes
+                .into_iter()
+                .map(|o| o.expect("every lent lane came back with its job"))
+                .collect(),
+        );
         let ctx = Arc::try_unwrap(ctx)
             .unwrap_or_else(|_| unreachable!("scatter joined every job, so no Arc clone survives"));
         self.pss = ctx.pss;
+
+        // Round barrier: release the bus in canonical order and decode
+        // each envelope back into a plan. Decode failures and out-of-range
+        // targets can only come from a hostile checkpoint blob's carried
+        // envelopes — refused with counter attribution, never a panic.
+        let mut plans = Vec::new();
+        for env in self.bus.drain_barrier() {
+            match rvs_checkpoint::from_bytes::<(NodeId, SendOutcome)>(&env.payload) {
+                Ok((j, outcome)) if j.index() < n => plans.push((env.sender, j, outcome)),
+                Ok(_) | Err(_) => self.bus.counters_mut().envelopes_rejected += 1,
+            }
+        }
         plans
     }
 

@@ -1,0 +1,559 @@
+//! Deterministic shard partitioning and the cross-shard envelope bus.
+//!
+//! This crate is the comms plane of the sharded scale-out engine. The peer
+//! population is partitioned into K deterministic shards by [`route`] — a
+//! pure function of `(peer id, K)`, so the assignment is stable under peer
+//! churn and independent of arrival order, thread count, or any runtime
+//! state. Each shard plans its members' sends locally; every planned send
+//! is serialized with the canonical `Persist` codec (the PR 6 checkpoint
+//! wire format doubles as the inter-shard wire format) into an
+//! [`Envelope`] and posted to the [`ShardBus`].
+//!
+//! The bus is the only channel between shards. Envelopes accumulate during
+//! the planning phase and are released at the round barrier by
+//! [`ShardBus::drain_barrier`], sorted by the canonical delivery key
+//! `(round, sender, seq)`. Because senders are planned in ascending-id
+//! order inside each shard and every sender posts with a per-round
+//! monotone sequence number, the drained order is exactly the ascending
+//! sender order of the K=1 monolithic engine — which is what makes a
+//! K-shard run byte-identical to the monolithic run (proven end-to-end by
+//! `tests/shard_differential.rs`).
+//!
+//! Hostile input is handled like everywhere else in the workspace: the
+//! drain admission gate refuses structurally invalid envelopes (wrong
+//! source shard, future round, duplicate delivery key) with typed
+//! [`ShardCounters`] attribution and never panics. Envelopes restored from
+//! a checkpoint with an earlier round are delivered at the next barrier
+//! and counted as deferred.
+
+use std::collections::BTreeMap;
+
+use rvs_checkpoint::{DecodeError, Decoder, Encoder, Persist};
+use rvs_sim::NodeId;
+use rvs_telemetry::ShardCounters;
+
+/// Configuration of the shard plane. With the default (`shards == 1`)
+/// every peer lands on shard 0 and all bus traffic is intra-shard; the
+/// engine still runs the full envelope path so K=1 and K>1 share one code
+/// path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of shards K (clamped to at least 1 by [`ShardBus`]).
+    pub shards: usize,
+    /// Run the structural admission gate on every drained envelope.
+    /// Honest traffic never trips it; disabling skips the checks for
+    /// benchmarking the gate's overhead.
+    pub admission: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 1,
+            admission: true,
+        }
+    }
+}
+
+/// Stable binary encoding: shard count then the admission flag, in
+/// declaration order. Changing this layout bumps
+/// `rvs_checkpoint::FORMAT_VERSION`.
+impl Persist for ShardConfig {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.usize(self.shards);
+        enc.bool(self.admission);
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(ShardConfig {
+            shards: dec.usize()?,
+            admission: dec.bool()?,
+        })
+    }
+}
+
+/// SplitMix64 finalizer: a full-avalanche bijection on `u64`.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The shard owning `peer` under a K-shard partition. A pure function of
+/// `(peer id, K)`: stable under churn and renumbering of *other* peers,
+/// independent of any runtime state. The id is avalanche-mixed before the
+/// modulo so contiguous id ranges (the trace population head, the flash
+/// crowd tail) spread evenly instead of landing on consecutive shards.
+pub fn route(peer: NodeId, shards: usize) -> usize {
+    let k = shards.max(1);
+    (mix64(peer.index() as u64) % k as u64) as usize
+}
+
+/// Shard membership lists for a population of `n` peers: `members[s]`
+/// holds every peer with `route(peer, K) == s`, in ascending id order.
+/// A pure projection of `(n, K)` — rebuilt, never persisted.
+pub fn members(n: usize, shards: usize) -> Vec<Vec<NodeId>> {
+    let k = shards.max(1);
+    let mut out = vec![Vec::new(); k];
+    for i in 0..n {
+        let peer = NodeId::from_index(i);
+        out[route(peer, k)].push(peer);
+    }
+    out
+}
+
+/// One serialized cross-shard message. The payload is opaque to the bus
+/// (the scenario layer encodes `(target, SendOutcome)` through the
+/// canonical codec); the envelope header carries exactly the fields the
+/// canonical delivery order needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// The gossip round the envelope was posted in.
+    pub round: u64,
+    /// The planning peer. Envelopes drain in ascending sender order
+    /// within a round.
+    pub sender: NodeId,
+    /// Per-(round, sender) monotone sequence number, assigned by the bus
+    /// at post time.
+    pub seq: u32,
+    /// Canonical-codec payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// The canonical delivery key: `(round, sender, seq)`.
+    pub fn key(&self) -> (u64, u64, u32) {
+        (self.round, self.sender.index() as u64, self.seq)
+    }
+}
+
+/// Stable binary encoding: round, sender, seq, then the length-prefixed
+/// payload, in declaration order. This is the inter-shard wire format;
+/// changing it bumps `rvs_checkpoint::FORMAT_VERSION`.
+impl Persist for Envelope {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.u64(self.round);
+        self.sender.persist(enc);
+        enc.u32(self.seq);
+        self.payload.persist(enc);
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Envelope {
+            round: dec.u64()?,
+            sender: NodeId::restore(dec)?,
+            seq: dec.u32()?,
+            payload: Vec::restore(dec)?,
+        })
+    }
+}
+
+/// A queued envelope with its routing record: the source and destination
+/// shard computed at post time (kept for admission checks and counters;
+/// delivery itself is a global canonical drain, so stale shard ids after a
+/// `set_shards` re-partition are harmless bookkeeping).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct InFlight {
+    src: u32,
+    dst: u32,
+    env: Envelope,
+}
+
+/// Stable binary encoding: source shard, destination shard, envelope.
+impl Persist for InFlight {
+    fn persist(&self, enc: &mut Encoder) {
+        enc.u32(self.src);
+        enc.u32(self.dst);
+        self.env.persist(enc);
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(InFlight {
+            src: dec.u32()?,
+            dst: dec.u32()?,
+            env: Envelope::restore(dec)?,
+        })
+    }
+}
+
+/// The cross-shard message bus: envelopes posted during the planning
+/// phase, released in canonical `(round, sender, seq)` order at the round
+/// barrier. Single-owner and strictly deterministic — the bus never
+/// consumes randomness and never reorders beyond the canonical sort.
+#[derive(Debug, Clone)]
+pub struct ShardBus {
+    cfg: ShardConfig,
+    /// The round currently being planned (monotone; advanced by
+    /// [`ShardBus::begin_round`]).
+    round: u64,
+    /// Envelopes posted but not yet drained.
+    queued: Vec<InFlight>,
+    /// Next sequence number per sender for the current round. Cleared at
+    /// every `begin_round`; rounds never straddle a checkpoint, so this
+    /// is volatile by design.
+    next_seq: BTreeMap<u64, u32>,
+    counters: ShardCounters,
+}
+
+impl ShardBus {
+    /// An empty bus under `cfg` (shard count clamped to at least 1).
+    pub fn new(cfg: ShardConfig) -> ShardBus {
+        let mut cfg = cfg;
+        cfg.shards = cfg.shards.max(1);
+        ShardBus {
+            cfg,
+            round: 0,
+            queued: Vec::new(),
+            next_seq: BTreeMap::new(),
+            counters: ShardCounters::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ShardConfig {
+        &self.cfg
+    }
+
+    /// The shard count K.
+    pub fn shards(&self) -> usize {
+        self.cfg.shards
+    }
+
+    /// Re-partition to `shards` shards (clamped to at least 1). Queued
+    /// envelopes keep their recorded routing — delivery is a global
+    /// canonical drain, so re-partitioning between rounds never loses or
+    /// reorders messages.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.cfg.shards = shards.max(1);
+    }
+
+    /// Open a new planning round: all envelopes posted until the next
+    /// [`ShardBus::drain_barrier`] carry `round`, with per-sender
+    /// sequence numbers restarting at 0.
+    pub fn begin_round(&mut self, round: u64) {
+        self.round = round;
+        self.next_seq.clear();
+    }
+
+    /// The round most recently opened.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Post one serialized send from `sender` (addressed to `target`,
+    /// already encoded inside `payload`) onto the bus. Assigns the
+    /// envelope's sequence number and records the source/destination
+    /// shards under the current partition.
+    pub fn post(&mut self, sender: NodeId, target: NodeId, payload: Vec<u8>) {
+        let src = route(sender, self.cfg.shards) as u32;
+        let dst = route(target, self.cfg.shards) as u32;
+        let seq_slot = self.next_seq.entry(sender.index() as u64).or_insert(0);
+        let seq = *seq_slot;
+        *seq_slot += 1;
+        if src == dst {
+            self.counters.envelopes_local += 1;
+        } else {
+            self.counters.envelopes_routed += 1;
+        }
+        self.counters.bus_bytes += payload.len() as u64;
+        self.queued.push(InFlight {
+            src,
+            dst,
+            env: Envelope {
+                round: self.round,
+                sender,
+                seq,
+                payload,
+            },
+        });
+        let depth = self.queued.len() as u64;
+        if depth > self.counters.queue_high_watermark {
+            self.counters.queue_high_watermark = depth;
+        }
+    }
+
+    /// Envelopes queued and not yet drained — the `bus_in_flight` term of
+    /// the encounter conservation identity.
+    pub fn in_flight(&self) -> u64 {
+        self.queued.len() as u64
+    }
+
+    /// The queued envelopes in posting order. Delivery goes through
+    /// [`ShardBus::drain_barrier`]; this read-only view exists for tests
+    /// and for cross-field checkpoint validation.
+    pub fn queued_envelopes(&self) -> impl Iterator<Item = &Envelope> {
+        self.queued.iter().map(|q| &q.env)
+    }
+
+    /// Release every queued envelope in canonical `(round, sender, seq)`
+    /// order. When admission is on, structurally invalid envelopes are
+    /// refused with counter attribution instead of delivered: an envelope
+    /// from a round later than the current one, a current-round envelope
+    /// whose recorded source shard contradicts `route(sender, K)`, or a
+    /// duplicate delivery key. Envelopes from earlier rounds (restored
+    /// from a checkpoint) are delivered first and counted as deferred.
+    pub fn drain_barrier(&mut self) -> Vec<Envelope> {
+        let mut queued = std::mem::take(&mut self.queued);
+        // Stable sort: canonical keys are unique for honest traffic, and
+        // hostile duplicates keep posting order so the gate below refuses
+        // a deterministic copy.
+        queued.sort_by_key(|q| q.env.key());
+        let mut out = Vec::with_capacity(queued.len());
+        let mut last_key: Option<(u64, u64, u32)> = None;
+        for q in queued {
+            if self.cfg.admission {
+                if q.env.round > self.round {
+                    self.counters.envelopes_rejected += 1;
+                    continue;
+                }
+                if q.env.round == self.round
+                    && q.src as usize != route(q.env.sender, self.cfg.shards)
+                {
+                    self.counters.envelopes_rejected += 1;
+                    continue;
+                }
+                if last_key == Some(q.env.key()) {
+                    self.counters.envelopes_rejected += 1;
+                    continue;
+                }
+            }
+            if q.env.round < self.round {
+                self.counters.envelopes_deferred += 1;
+            }
+            last_key = Some(q.env.key());
+            out.push(q.env);
+        }
+        out
+    }
+
+    /// Bus counters.
+    pub fn counters(&self) -> &ShardCounters {
+        &self.counters
+    }
+
+    /// Mutable bus counters (the scenario layer attributes bus-adjacent
+    /// events here).
+    pub fn counters_mut(&mut self) -> &mut ShardCounters {
+        &mut self.counters
+    }
+}
+
+/// Stable binary encoding: config, round, queued envelopes, counters.
+/// The per-round sequence map is volatile by design — rounds never
+/// straddle a checkpoint, and `begin_round` clears it before any post.
+// rvs-lint: allow(persist-coverage) -- `next_seq` is per-round transient state, cleared by begin_round before any post; a checkpoint is only ever cut between rounds
+impl Persist for ShardBus {
+    fn persist(&self, enc: &mut Encoder) {
+        self.cfg.persist(enc);
+        enc.u64(self.round);
+        self.queued.persist(enc);
+        self.counters.persist(enc);
+    }
+
+    fn restore(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let cfg = ShardConfig::restore(dec)?;
+        if cfg.shards == 0 {
+            return Err(DecodeError::Corrupt(
+                "shard config claims zero shards".to_string(),
+            ));
+        }
+        Ok(ShardBus {
+            cfg,
+            round: dec.u64()?,
+            queued: Vec::restore(dec)?,
+            next_seq: BTreeMap::new(),
+            counters: ShardCounters::restore(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_is_total_and_stable() {
+        for k in 1..9 {
+            for i in 0..500 {
+                let s = route(NodeId::from_index(i), k);
+                assert!(s < k);
+                assert_eq!(s, route(NodeId::from_index(i), k), "route must be pure");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        assert_eq!(route(NodeId::from_index(7), 0), 0);
+        let bus = ShardBus::new(ShardConfig {
+            shards: 0,
+            admission: true,
+        });
+        assert_eq!(bus.shards(), 1);
+    }
+
+    #[test]
+    fn members_partition_the_population() {
+        let n = 301;
+        let k = 7;
+        let lists = members(n, k);
+        assert_eq!(lists.len(), k);
+        let mut seen = vec![false; n];
+        for (s, list) in lists.iter().enumerate() {
+            let mut prev = None;
+            for &p in list {
+                assert_eq!(route(p, k), s);
+                assert!(prev < Some(p), "members must ascend");
+                prev = Some(p);
+                assert!(!seen[p.index()], "peer in two shards");
+                seen[p.index()] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|b| b), "peer in no shard");
+    }
+
+    #[test]
+    fn partition_is_reasonably_balanced() {
+        let lists = members(10_000, 4);
+        for list in &lists {
+            let n = list.len();
+            assert!((2200..=2800).contains(&n), "unbalanced shard: {n} peers");
+        }
+    }
+
+    fn post_all(bus: &mut ShardBus, sends: &[(usize, usize)]) {
+        for &(s, t) in sends {
+            bus.post(NodeId::from_index(s), NodeId::from_index(t), vec![s as u8]);
+        }
+    }
+
+    #[test]
+    fn drain_is_canonical_and_counts_routing() {
+        let mut bus = ShardBus::new(ShardConfig {
+            shards: 3,
+            admission: true,
+        });
+        bus.begin_round(5);
+        // Post out of sender order, as sharded planning does.
+        post_all(&mut bus, &[(9, 2), (1, 4), (5, 1), (3, 3)]);
+        assert_eq!(bus.in_flight(), 4);
+        let drained = bus.drain_barrier();
+        assert_eq!(bus.in_flight(), 0);
+        let senders: Vec<usize> = drained.iter().map(|e| e.sender.index()).collect();
+        assert_eq!(senders, vec![1, 3, 5, 9], "must drain in ascending sender");
+        let c = bus.counters();
+        assert_eq!(c.envelopes_local + c.envelopes_routed, 4);
+        assert_eq!(c.bus_bytes, 4);
+        assert_eq!(c.envelopes_rejected, 0);
+        assert_eq!(c.envelopes_deferred, 0);
+        assert_eq!(c.queue_high_watermark, 4);
+    }
+
+    #[test]
+    fn seq_numbers_are_per_sender_monotone_and_reset_each_round() {
+        let mut bus = ShardBus::new(ShardConfig::default());
+        bus.begin_round(1);
+        post_all(&mut bus, &[(2, 3), (2, 4), (1, 5)]);
+        let drained = bus.drain_barrier();
+        let keys: Vec<_> = drained.iter().map(Envelope::key).collect();
+        assert_eq!(keys, vec![(1, 1, 0), (1, 2, 0), (1, 2, 1)]);
+        bus.begin_round(2);
+        post_all(&mut bus, &[(2, 3)]);
+        assert_eq!(bus.drain_barrier()[0].key(), (2, 2, 0));
+    }
+
+    #[test]
+    fn admission_refuses_future_rounds_wrong_shards_and_duplicates() {
+        let mut bus = ShardBus::new(ShardConfig {
+            shards: 4,
+            admission: true,
+        });
+        bus.begin_round(3);
+        let sender = NodeId::from_index(11);
+        // Hostile: an envelope claiming a future round.
+        bus.queued.push(InFlight {
+            src: route(sender, 4) as u32,
+            dst: 0,
+            env: Envelope {
+                round: 9,
+                sender,
+                seq: 0,
+                payload: vec![],
+            },
+        });
+        // Hostile: a current-round envelope recorded on the wrong shard.
+        bus.queued.push(InFlight {
+            src: (route(sender, 4) as u32 + 1) % 4,
+            dst: 0,
+            env: Envelope {
+                round: 3,
+                sender,
+                seq: 1,
+                payload: vec![],
+            },
+        });
+        // Honest, plus a hostile byte-level duplicate of it.
+        bus.post(sender, NodeId::from_index(2), vec![7]);
+        let dup = bus.queued.last().unwrap().clone();
+        bus.queued.push(dup);
+        let drained = bus.drain_barrier();
+        assert_eq!(drained.len(), 1, "only the honest envelope survives");
+        assert_eq!(bus.counters().envelopes_rejected, 3);
+    }
+
+    #[test]
+    fn checkpoint_carried_envelopes_defer_and_survive_resharding() {
+        let mut bus = ShardBus::new(ShardConfig {
+            shards: 4,
+            admission: true,
+        });
+        bus.begin_round(1);
+        post_all(&mut bus, &[(6, 2), (3, 9)]);
+        // Simulate a checkpoint cut with envelopes still queued, restored
+        // into a different partition.
+        let blob = rvs_checkpoint::to_bytes(&bus);
+        let mut back: ShardBus = rvs_checkpoint::from_bytes(&blob).expect("roundtrip");
+        back.set_shards(2);
+        back.begin_round(2);
+        let drained = back.drain_barrier();
+        assert_eq!(drained.len(), 2, "carried envelopes must deliver");
+        assert_eq!(back.counters().envelopes_deferred, 2);
+        assert_eq!(back.counters().envelopes_rejected, 0);
+    }
+
+    #[test]
+    fn bus_roundtrips_through_the_codec() {
+        let mut bus = ShardBus::new(ShardConfig {
+            shards: 5,
+            admission: false,
+        });
+        bus.begin_round(7);
+        post_all(&mut bus, &[(1, 2), (8, 0)]);
+        let blob = rvs_checkpoint::to_bytes(&bus);
+        let back: ShardBus = rvs_checkpoint::from_bytes(&blob).expect("roundtrip");
+        assert_eq!(back.cfg, bus.cfg);
+        assert_eq!(back.round, bus.round);
+        assert_eq!(back.queued, bus.queued);
+        assert_eq!(back.counters, bus.counters);
+        assert_eq!(rvs_checkpoint::to_bytes(&back), blob);
+    }
+
+    #[test]
+    fn hostile_bus_bytes_never_panic() {
+        let mut bus = ShardBus::new(ShardConfig::default());
+        bus.begin_round(1);
+        post_all(&mut bus, &[(0, 1)]);
+        let blob = rvs_checkpoint::to_bytes(&bus);
+        // Truncations.
+        for cut in 0..blob.len() {
+            let _ = rvs_checkpoint::from_bytes::<ShardBus>(&blob[..cut]);
+        }
+        // Single-byte corruptions.
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[i] ^= 0xFF;
+            let _ = rvs_checkpoint::from_bytes::<ShardBus>(&bad);
+        }
+    }
+}

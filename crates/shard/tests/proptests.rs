@@ -1,0 +1,155 @@
+//! Property tests for the shard partition function and the bus it feeds.
+//!
+//! `route` is the load-bearing pure function of the scale-out engine: if
+//! it double-assigned, dropped, or renumber-shifted a peer, the barrier
+//! order (and hence byte-identity) would silently break. These tests pin
+//! its contract over arbitrary `(population, K)` and prove the bus's own
+//! bookkeeping agrees with it.
+
+use proptest::prelude::*;
+use rvs_shard::{members, route, Envelope, ShardBus, ShardConfig};
+use rvs_sim::NodeId;
+
+proptest! {
+    /// Every peer lands in exactly one shard, and that shard is in range.
+    #[test]
+    fn route_is_total_and_in_range(id in 0usize..100_000, k in 1usize..64) {
+        let s = route(NodeId::from_index(id), k);
+        prop_assert!(s < k);
+        // Pure function: the same inputs always give the same shard.
+        prop_assert_eq!(s, route(NodeId::from_index(id), k));
+    }
+
+    /// `members(n, k)` is a partition: each of the `n` peers appears in
+    /// exactly one shard, in the shard `route` names, ascending.
+    #[test]
+    fn members_is_a_partition(n in 0usize..2_000, k in 1usize..16) {
+        let m = members(n, k);
+        prop_assert_eq!(m.len(), k);
+        let mut seen = vec![false; n];
+        for (shard, list) in m.iter().enumerate() {
+            let mut prev = None;
+            for &node in list {
+                prop_assert_eq!(route(node, k), shard);
+                prop_assert!(node.index() < n);
+                prop_assert!(!seen[node.index()], "peer listed twice");
+                seen[node.index()] = true;
+                if let Some(p) = prev {
+                    prop_assert!(p < node, "member list not ascending");
+                }
+                prev = Some(node);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "peer missing from every shard");
+    }
+
+    /// Churn stability: a peer's shard depends only on its own id and K —
+    /// never on which other peers exist. Deleting or adding arbitrary
+    /// peers (renumbering the *population*, not the ids) moves nobody.
+    #[test]
+    fn route_is_stable_under_churn(
+        ids in prop::collection::vec(0usize..10_000, 1..200),
+        k in 1usize..16,
+    ) {
+        let survivors: std::collections::BTreeSet<usize> = ids.into_iter().collect();
+        // Assignments computed in the full population...
+        let full: Vec<(usize, usize)> = survivors
+            .iter()
+            .map(|&id| (id, route(NodeId::from_index(id), k)))
+            .collect();
+        // ...must match assignments computed as if the survivors were the
+        // whole world: route never looks at population size or position.
+        for (id, shard) in full {
+            prop_assert_eq!(route(NodeId::from_index(id), k), shard);
+        }
+    }
+
+    /// The SplitMix64 mix keeps shards statistically balanced: no shard
+    /// hogs more than ~2x its fair share once the population is large
+    /// enough to average out.
+    #[test]
+    fn route_balances_large_populations(k in 2usize..9) {
+        let n = 8_192;
+        let m = members(n, k);
+        let fair = n / k;
+        for (shard, list) in m.iter().enumerate() {
+            prop_assert!(
+                list.len() > fair / 2 && list.len() < fair * 2,
+                "shard {} holds {} of {} (fair share {})",
+                shard, list.len(), n, fair
+            );
+        }
+    }
+
+    /// Bus bookkeeping agrees with `route`: posting one envelope per peer
+    /// classifies exactly the cross-shard pairs as routed, delivers all of
+    /// them at the barrier in canonical order, and rejects nothing.
+    #[test]
+    fn bus_bookkeeping_agrees_with_route(
+        n in 1usize..200,
+        k in 1usize..12,
+        seed in 0u64..1_000,
+    ) {
+        let mut bus = ShardBus::new(ShardConfig { shards: k, admission: true });
+        bus.begin_round(1);
+        let mut expect_routed = 0u64;
+        let mut expect_local = 0u64;
+        for i in 0..n {
+            let sender = NodeId::from_index(i);
+            // A deterministic pseudo-target derived from the case seed.
+            let target = NodeId::from_index(((i as u64 + seed) % n as u64) as usize);
+            if route(sender, k) == route(target, k) {
+                expect_local += 1;
+            } else {
+                expect_routed += 1;
+            }
+            bus.post(sender, target, vec![i as u8]);
+        }
+        prop_assert_eq!(bus.counters().envelopes_local, expect_local);
+        prop_assert_eq!(bus.counters().envelopes_routed, expect_routed);
+        prop_assert_eq!(bus.in_flight(), n as u64);
+
+        let delivered: Vec<Envelope> = bus.drain_barrier();
+        prop_assert_eq!(delivered.len(), n, "admission must pass every honest envelope");
+        prop_assert_eq!(bus.counters().envelopes_rejected, 0);
+        prop_assert_eq!(bus.in_flight(), 0);
+        // Canonical order: ascending (round, sender, seq).
+        for pair in delivered.windows(2) {
+            prop_assert!(pair[0].key() < pair[1].key(), "barrier order not canonical");
+        }
+        // Exactly the posted senders, ascending — the same order the
+        // monolithic apply loop would have used.
+        for (i, env) in delivered.iter().enumerate() {
+            prop_assert_eq!(env.sender.index(), i);
+            prop_assert_eq!(env.round, 1);
+        }
+    }
+
+    /// Envelope codec: encode → decode → encode is byte-identical for
+    /// arbitrary payload bytes, and the decoded envelope matches.
+    #[test]
+    fn envelope_roundtrips_canonically(
+        round in 0u64..u64::MAX,
+        sender in 0usize..1_000_000,
+        seq in 0u32..u32::MAX,
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let env = Envelope {
+            round,
+            sender: NodeId::from_index(sender),
+            seq,
+            payload,
+        };
+        let bytes = rvs_checkpoint::to_bytes(&env);
+        let back: Envelope = rvs_checkpoint::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &env);
+        prop_assert_eq!(rvs_checkpoint::to_bytes(&back), bytes);
+    }
+
+    /// Hostile bytes never panic the envelope decoder: arbitrary input is
+    /// either a valid envelope or a typed `DecodeError`.
+    #[test]
+    fn envelope_decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = rvs_checkpoint::from_bytes::<Envelope>(&bytes);
+    }
+}

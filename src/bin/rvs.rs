@@ -65,7 +65,7 @@ USAGE:
     rvs stats  [--seed N] [--traces N]
         dataset statistics over N traces (the paper's §VI summary)
     rvs run    [--seed N] [--peers N] [--hours N] [--t-mib X] [--loss X]
-               [--faults FILE] [--guard on|FILE] [--threads N]
+               [--faults FILE] [--guard on|FILE] [--threads N] [--shards K]
                [--telemetry FILE|-] [--checkpoint-every N]
                [--checkpoint-dir D] [--resume FILE]
         full-stack Figure 6 scenario; prints the accuracy curve and the
@@ -82,7 +82,8 @@ USAGE:
         never having stopped (DESIGN.md §12), on any --threads
     rvs attack [--seed N] [--peers N] [--core N] [--crowd N] [--hours N]
                [--flood N] [--flood-rate N] [--malform PM]
-               [--guard on|FILE] [--threads N] [--telemetry FILE|-]
+               [--guard on|FILE] [--threads N] [--shards K]
+               [--telemetry FILE|-]
         Figure 8 flash-crowd scenario; prints the pollution curve.
         --flood N turns the N highest-index trace peers into flooders
         (--flood-rate extra sends per member per round, default 12);
@@ -97,6 +98,10 @@ USAGE:
     --threads N shards the simulation round engine across N worker
     threads (0 = honour RVS_THREADS, the default). Results are
     byte-identical for every N; see DESIGN.md §11.
+    --shards K partitions the population into K deterministic shards
+    whose cross-shard gossip rides serialized envelopes on the shard
+    bus (0 = keep the current count, default 1). Results are
+    byte-identical for every K; see DESIGN.md §14.
     --telemetry dumps a JSON snapshot of the per-protocol counters (and
     wall-clock phase timings) to FILE, or to stdout when FILE is `-`.";
 
@@ -147,6 +152,18 @@ fn apply_threads(system: &mut System, flags: &BTreeMap<String, String>) {
     let threads: usize = get(flags, "threads", 0);
     if threads > 0 {
         system.set_threads(threads.min(64));
+    }
+}
+
+/// Honour `--shards K`: partition the population into K deterministic
+/// shards (0, the default, keeps the system's current count — 1 for a
+/// fresh system, the checkpointed count after --resume). Shard count
+/// never changes results — only the scale-out geometry — which is proven
+/// byte-for-byte by tests/shard_differential.rs.
+fn apply_shards(system: &mut System, flags: &BTreeMap<String, String>) {
+    let shards: usize = get(flags, "shards", 0);
+    if shards > 0 {
+        system.set_shards(shards);
     }
 }
 
@@ -285,6 +302,7 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> ExitCode {
         )
     };
     apply_threads(&mut system, &flags);
+    apply_shards(&mut system, &flags);
     if let Err(code) = apply_guard(&mut system, &flags) {
         return code;
     }
@@ -427,6 +445,7 @@ fn cmd_attack(flags: &BTreeMap<String, String>) -> ExitCode {
     }
     let mut system = System::new(trace, protocol, setup, seed);
     apply_threads(&mut system, &flags);
+    apply_shards(&mut system, &flags);
     // Byzantine adversaries: flooders are the highest-index trace peers
     // (the founder core occupies the low indices), the malformer mutates
     // guarded wire messages at the given per-mille rate. Either attack

@@ -1,0 +1,379 @@
+//! Differential proof that the sharded scale-out engine is byte-identical
+//! to the monolithic run at every shard count.
+//!
+//! Each scenario runs once at `K = 1` (which still routes every planned
+//! send through the `ShardBus` — there is no separate monolithic code
+//! path) and again at `K = 2, 4, 7`, through the full stack: trace
+//! replay, windowed BitTorrent swarms, the sharded send phase with
+//! cross-shard envelopes over the canonical codec, BarterCast,
+//! ModerationCast, vote sampling, and — in the churn and byzantine
+//! variants — the fault-injection plane and the guard plane. The runs
+//! must agree on a fingerprint capturing every observable the system
+//! exposes:
+//!
+//! * the full telemetry counter snapshot **modulo `ShardCounters`**
+//!   (compact JSON bytes) — the bus block is transport bookkeeping and
+//!   the only counters allowed to differ across `K`,
+//! * every node's displayed moderator ranking and ballot voter count,
+//! * the exact `f64::to_bits` pattern of every pairwise subjective
+//!   contribution (no epsilon: reputation must match to the last bit),
+//! * the ground-truth transfer ledger total and the in-flight count.
+//!
+//! A save-at-`K=4` / resume-at-`K=2` leg additionally proves shard count
+//! is not simulation state: a checkpoint written under one partitioning
+//! continues byte-identically under another, and under a different
+//! thread count at the same time.
+
+use robust_vote_sampling::attacks::{Flooder, Malformer};
+use robust_vote_sampling::faults::{
+    BurstLoss, CrashSpec, FaultConfig, FaultSchedule, PartitionSpec, RetryConfig,
+};
+use robust_vote_sampling::guard::GuardConfig;
+use robust_vote_sampling::scenario::experiments::vote_sampling::fig6_setup;
+use robust_vote_sampling::scenario::{Checkpoint, ProtocolConfig, System};
+use rvs_sim::{NodeId, SimDuration, SimTime};
+use rvs_trace::TraceGenConfig;
+use std::fmt::Write as _;
+
+const SHARD_COUNTS: [usize; 3] = [2, 4, 7];
+
+/// Everything observable about a finished run, as comparable text. The
+/// telemetry snapshot is projected through `modulo_shards` so the bus
+/// transport counters (which legitimately vary with `K`) cannot mask a
+/// real divergence elsewhere.
+fn fingerprint(system: &System) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &system
+            .telemetry_snapshot()
+            .counters_only()
+            .modulo_shards()
+            .to_json_compact(),
+    );
+    out.push('\n');
+    let n = system.trace_peer_count();
+    for i in 0..n {
+        let node = NodeId::from_index(i);
+        let _ = writeln!(
+            out,
+            "{node} ranking={:?} voters={}",
+            system.display_ranking(node),
+            system.votes().ballot(node).unique_voters()
+        );
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let c = system.contribution_mib(NodeId::from_index(i), NodeId::from_index(j));
+            if c != 0.0 {
+                let _ = writeln!(out, "contrib {i}->{j} bits={:016x}", c.to_bits());
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "ledger_kib={} in_flight={}",
+        system.net().ledger().total_kib(),
+        system.in_flight()
+    );
+    out
+}
+
+/// Build the fig6 system under `schedule`, optionally armed with the
+/// byzantine adversaries of the chaos suite.
+fn build(peers: usize, hours: u64, seed: u64, schedule: FaultSchedule, attack: bool) -> System {
+    let trace = TraceGenConfig::quick(peers, SimDuration::from_hours(hours)).generate(seed);
+    let (setup, _) = fig6_setup(&trace, 0.25, 0.25, seed);
+    let protocol = ProtocolConfig {
+        experience_t_mib: 1.0,
+        ..ProtocolConfig::default()
+    };
+    let mut system = System::with_faults(trace, protocol, setup, seed, schedule);
+    if attack {
+        system.set_guard_config(GuardConfig {
+            inbox_cap: 8,
+            ..GuardConfig::active()
+        });
+        let n = system.trace_peer_count();
+        system.set_flooder(Flooder::new(
+            (n.saturating_sub(4)..n).map(NodeId::from_index),
+            10,
+        ));
+        system.set_malformer(Malformer::new(100));
+    }
+    system
+}
+
+/// Run a scenario to completion at `shards` shards, fully audited.
+fn run(
+    peers: usize,
+    hours: u64,
+    seed: u64,
+    schedule: FaultSchedule,
+    attack: bool,
+    shards: usize,
+) -> String {
+    let mut system = build(peers, hours, seed, schedule, attack);
+    system.set_shards(shards);
+    system.enable_audit();
+    system.run_until(
+        SimTime::from_hours(hours),
+        SimDuration::from_hours((hours / 3).max(1)),
+        |_, _| {},
+    );
+    assert_eq!(
+        system.audit_violations(),
+        &[] as &[String],
+        "invariant violations at {shards} shards (seed {seed})"
+    );
+    // The bus actually carried the round: sanity-check its own books
+    // before trusting the modulo-shards comparison.
+    let s = &system.telemetry_snapshot().shard;
+    assert!(
+        s.envelopes_local + s.envelopes_routed > 0,
+        "no traffic crossed the bus at {shards} shards (seed {seed})"
+    );
+    if shards > 1 {
+        assert!(
+            s.envelopes_routed > 0,
+            "{shards} shards but every envelope stayed shard-local (seed {seed})"
+        );
+    } else {
+        assert_eq!(
+            s.envelopes_routed, 0,
+            "a 1-shard run cannot route cross-shard"
+        );
+    }
+    assert_eq!(
+        s.envelopes_rejected, 0,
+        "bus admission refused honest traffic"
+    );
+    assert_eq!(
+        system.shard_bus().in_flight(),
+        0,
+        "bus drained at the barrier"
+    );
+    fingerprint(&system)
+}
+
+/// Assert the monolithic twin and every sharded twin produce the same
+/// bytes, across three seeds per scenario.
+fn assert_shard_invariant(
+    label: &str,
+    peers: usize,
+    hours: u64,
+    seeds: &[u64],
+    attack: bool,
+    mk: fn() -> FaultSchedule,
+) {
+    for &seed in seeds {
+        let mono = run(peers, hours, seed, mk(), attack, 1);
+        for shards in SHARD_COUNTS {
+            let sharded = run(peers, hours, seed, mk(), attack, shards);
+            assert_eq!(
+                mono, sharded,
+                "{label}: seed {seed} diverged at {shards} shards"
+            );
+        }
+    }
+}
+
+/// Mid-strength churn schedule: loss + retry/backoff, so the serial
+/// resend path interleaves with the sharded send phase.
+fn churn_schedule() -> FaultSchedule {
+    FaultSchedule {
+        config: FaultConfig {
+            loss: 0.15,
+            retry: Some(RetryConfig::default()),
+            ..FaultConfig::default()
+        },
+        partitions: vec![],
+        crashes: vec![],
+    }
+}
+
+/// The chaos-suite shape shrunk to differential size: latency + jitter,
+/// burst loss, duplication, one partition, two crash-restarts, retry.
+fn chaos_schedule() -> FaultSchedule {
+    FaultSchedule {
+        config: FaultConfig {
+            base_latency_ms: 5_000,
+            jitter_spread: 1.0,
+            loss: 0.0,
+            duplicate: 0.05,
+            burst: Some(BurstLoss::with_overall_loss(0.3, 8.0)),
+            retry: Some(RetryConfig::default()),
+        },
+        partitions: vec![PartitionSpec {
+            name: "split".into(),
+            members: (0..6).map(NodeId::from_index).collect(),
+            start: SimTime::from_hours(4),
+            heal: SimTime::from_hours(8),
+        }],
+        crashes: vec![
+            CrashSpec {
+                node: NodeId::from_index(3),
+                at: SimTime::from_hours(6),
+            },
+            CrashSpec {
+                node: NodeId::from_index(9),
+                at: SimTime::from_hours(12),
+            },
+        ],
+    }
+}
+
+#[test]
+fn fig6_is_shard_count_invariant() {
+    assert_shard_invariant("fig6", 16, 12, &[11, 23, 37], false, FaultSchedule::default);
+}
+
+#[test]
+fn churn_with_retry_is_shard_count_invariant() {
+    assert_shard_invariant("churn", 14, 15, &[5, 29, 41], false, churn_schedule);
+}
+
+#[test]
+fn byzantine_chaos_is_shard_count_invariant() {
+    assert_shard_invariant("byzantine", 18, 18, &[101, 202, 303], true, chaos_schedule);
+}
+
+#[test]
+fn shards_compose_with_threads() {
+    // --shards and --threads are independent axes: 4 shards × 4 workers
+    // must match the 1-shard 1-thread baseline byte for byte.
+    let seed = 23;
+    let mono = run(16, 12, seed, churn_schedule(), false, 1);
+    let mut system = build(16, 12, seed, churn_schedule(), false);
+    system.set_shards(4);
+    system.set_threads(4);
+    system.enable_audit();
+    system.run_until(
+        SimTime::from_hours(12),
+        SimDuration::from_hours(4),
+        |_, _| {},
+    );
+    assert_eq!(system.audit_violations(), &[] as &[String]);
+    assert_eq!(
+        mono,
+        fingerprint(&system),
+        "4 shards × 4 threads diverged from the monolithic serial run"
+    );
+}
+
+#[test]
+fn save_at_k4_resume_at_k2_is_byte_identical() {
+    // Shard count is scheduling state, not simulation state: a run saved
+    // under one partitioning must continue identically under any other.
+    // Reference: an uninterrupted 1-shard run.
+    let seed = 37;
+    let hours = 12;
+    let reference = run(16, hours, seed, churn_schedule(), false, 1);
+
+    let mut writer = build(16, hours, seed, churn_schedule(), false);
+    writer.set_shards(4);
+    writer.enable_audit();
+    writer.run_until(
+        SimTime::from_hours(6),
+        SimDuration::from_hours(3),
+        |_, _| {},
+    );
+    let bytes = writer.checkpoint().into_bytes();
+
+    let ckpt = Checkpoint::from_bytes(bytes).expect("self-produced checkpoint parses");
+    let mut resumed = System::restore(&ckpt).expect("self-produced checkpoint restores");
+    // Restore adopts the writer's K before the caller overrides it.
+    assert_eq!(
+        resumed.shards(),
+        4,
+        "restore must adopt the writer's shard count"
+    );
+    resumed.set_shards(2);
+    resumed.enable_audit();
+    resumed.run_until(
+        SimTime::from_hours(hours),
+        SimDuration::from_hours(3),
+        |_, _| {},
+    );
+    assert_eq!(resumed.audit_violations(), &[] as &[String]);
+    assert_eq!(
+        reference,
+        fingerprint(&resumed),
+        "save at K=4 / resume at K=2 diverged from the uninterrupted run"
+    );
+}
+
+#[test]
+fn mid_run_reshard_changes_nothing() {
+    // set_shards is legal between any two rounds; flipping 1 -> 7 -> 2
+    // mid-run must still land on the monolithic bytes.
+    let seed = 11;
+    let reference = run(16, 12, seed, FaultSchedule::default(), false, 1);
+    let mut system = build(16, 12, seed, FaultSchedule::default(), false);
+    system.enable_audit();
+    system.run_until(
+        SimTime::from_hours(4),
+        SimDuration::from_hours(2),
+        |_, _| {},
+    );
+    system.set_shards(7);
+    system.run_until(
+        SimTime::from_hours(8),
+        SimDuration::from_hours(2),
+        |_, _| {},
+    );
+    system.set_shards(2);
+    system.run_until(
+        SimTime::from_hours(12),
+        SimDuration::from_hours(2),
+        |_, _| {},
+    );
+    assert_eq!(system.audit_violations(), &[] as &[String]);
+    assert_eq!(
+        reference,
+        fingerprint(&system),
+        "mid-run resharding changed results"
+    );
+}
+
+#[test]
+fn per_shard_accuracy_observers_sum_to_global() {
+    // The per-shard observer partitions the population: summing the
+    // (correct, total) counts over all shards reproduces the global
+    // ordering-accuracy fraction exactly.
+    let seed = 23;
+    let trace = TraceGenConfig::quick(16, SimDuration::from_hours(12)).generate(seed);
+    let (setup, m) = fig6_setup(&trace, 0.25, 0.25, seed);
+    let protocol = ProtocolConfig {
+        experience_t_mib: 1.0,
+        ..ProtocolConfig::default()
+    };
+    let mut system = System::new(trace, protocol, setup, seed);
+    system.set_shards(4);
+    system.run_until(
+        SimTime::from_hours(12),
+        SimDuration::from_hours(12),
+        |_, _| {},
+    );
+    let (mut correct, mut total) = (0u64, 0u64);
+    for shard in 0..system.shards() {
+        let (c, t) = system.ordering_accuracy_in_shard(shard, &m);
+        assert_eq!(
+            t as usize,
+            system.shard_members(shard).len(),
+            "observer must count every member of shard {shard}"
+        );
+        correct += c;
+        total += t;
+    }
+    assert_eq!(total as usize, system.trace_peer_count());
+    let global = system.ordering_accuracy(&m);
+    let summed = correct as f64 / total as f64;
+    assert_eq!(
+        global.to_bits(),
+        summed.to_bits(),
+        "per-shard observer counts disagree with the global fraction"
+    );
+}
